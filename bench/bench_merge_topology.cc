@@ -1,0 +1,80 @@
+// Experiment E1 — the mergeability claim itself.
+//
+// Theorem (paper §3): MG / SpaceSaving summaries merged through ANY
+// merge tree keep error <= eps * n. This harness sweeps the shard count
+// (2..256) and the merge-tree shape (left-deep chain, balanced,
+// random) and prints max|estimate - truth| / (eps * n). The paper's
+// claim holds if every cell is <= 1 and the column is flat in both
+// dimensions (no growth with shard count or tree depth).
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable::bench {
+namespace {
+
+constexpr double kEpsilon = 0.01;
+
+int Main() {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 1 << 20;
+  spec.universe = 1 << 15;
+  spec.alpha = 1.1;
+  const auto stream = GenerateStream(spec, 2);
+  const auto truth = TrueCounts(stream);
+  const double eps_n = kEpsilon * static_cast<double>(stream.size());
+
+  std::printf("E1: workload %s, n=%zu, eps=%g; cells are err/(eps*n)\n",
+              ToString(spec).c_str(), stream.size(), kEpsilon);
+
+  for (const char* summary : {"MisraGries", "SpaceSaving"}) {
+    PrintHeader(std::string(summary) + " merge error vs topology",
+                {"shards", "chain", "balanced", "random"});
+    for (int shards : {2, 4, 8, 16, 32, 64, 128, 256}) {
+      const auto parts_data = PartitionStream(stream, shards,
+                                              PartitionPolicy::kContiguous);
+      std::vector<std::string> row = {FormatU64(shards)};
+      for (MergeTopology topology : kAllTopologies) {
+        Rng rng(42);
+        double normalized = 0.0;
+        if (std::string(summary) == "MisraGries") {
+          auto parts = SummarizeShards(
+              parts_data, [] { return MisraGries::ForEpsilon(kEpsilon); });
+          const MisraGries merged =
+              MergeAll(std::move(parts), topology, &rng);
+          const uint64_t err = MaxAbsError(truth, [&merged](uint64_t x) {
+            return merged.LowerEstimate(x);
+          });
+          normalized = static_cast<double>(err) / eps_n;
+        } else {
+          auto parts = SummarizeShards(
+              parts_data, [] { return SpaceSaving::ForEpsilon(kEpsilon); });
+          const SpaceSaving merged =
+              MergeAll(std::move(parts), topology, &rng);
+          const uint64_t err = MaxAbsError(
+              truth, [&merged](uint64_t x) { return merged.Count(x); });
+          normalized = static_cast<double>(err) / eps_n;
+        }
+        row.push_back(FormatDouble(normalized, 3));
+      }
+      PrintRow(row);
+    }
+  }
+  std::printf(
+      "\nExpected shape: every cell <= 1.000, flat across shards and "
+      "topologies (full mergeability).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mergeable::bench
+
+int main() { return mergeable::bench::Main(); }

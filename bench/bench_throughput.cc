@@ -1,0 +1,251 @@
+// Experiment P1 — update / merge / query throughput (google-benchmark).
+//
+// Engineering numbers, not paper claims: how fast each summary ingests
+// items, merges, and answers queries. Includes the SpaceSaving ablation
+// (heap update path) called out in DESIGN.md §5.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "mergeable/approx/eps_approximation.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/frequency/space_saving_bucket.h"
+#include "mergeable/quantiles/gk.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/sketch/count_sketch.h"
+#include "mergeable/stream/generators.h"
+
+namespace mergeable {
+namespace {
+
+const std::vector<uint64_t>& ZipfStream() {
+  static const std::vector<uint64_t>* stream = [] {
+    StreamSpec spec;
+    spec.kind = StreamKind::kZipf;
+    spec.n = 1 << 18;
+    spec.universe = 1 << 14;
+    spec.alpha = 1.1;
+    return new std::vector<uint64_t>(GenerateStream(spec, 7));
+  }();
+  return *stream;
+}
+
+void BM_MisraGriesUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MisraGries mg(capacity);
+    for (uint64_t item : stream) mg.Update(item);
+    benchmark::DoNotOptimize(mg.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_MisraGriesUpdate)->Arg(64)->Arg(1024);
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SpaceSaving ss(capacity);
+    for (uint64_t item : stream) ss.Update(item);
+    benchmark::DoNotOptimize(ss.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SpaceSavingUpdate)->Arg(64)->Arg(1024);
+
+// The O(1) bucket-list update path (DESIGN.md ablation 5).
+void BM_SpaceSavingBucketUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SpaceSavingBucket ss(capacity);
+    for (uint64_t item : stream) ss.Update(item);
+    benchmark::DoNotOptimize(ss.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SpaceSavingBucketUpdate)->Arg(64)->Arg(1024);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    CountMinSketch sketch(4, 2048, 1);
+    for (uint64_t item : stream) sketch.Update(item);
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    CountSketch sketch(4, 2048, 1);
+    for (uint64_t item : stream) sketch.Update(item);
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_MergeableQuantilesUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  const int buffer = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MergeableQuantiles sketch(buffer, 1);
+    for (uint64_t item : stream) {
+      sketch.Update(static_cast<double>(item & 0xffff));
+    }
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_MergeableQuantilesUpdate)->Arg(128)->Arg(1024);
+
+void BM_GkUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    GkSummary gk(0.01);
+    for (uint64_t item : stream) {
+      gk.Update(static_cast<double>(item & 0xffff));
+    }
+    benchmark::DoNotOptimize(gk.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_GkUpdate);
+
+void BM_QDigestUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    QDigest digest = QDigest::ForEpsilon(0.01, 16);
+    for (uint64_t item : stream) digest.Update(item & 0xffff);
+    benchmark::DoNotOptimize(digest.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_QDigestUpdate);
+
+void BM_EpsApproxUpdate(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    EpsApproximation summary(512, 1, HalvingPolicy::kMorton);
+    for (uint64_t item : stream) {
+      summary.Update(Point2{static_cast<double>(item & 0xff) / 255.0,
+                            static_cast<double>((item >> 8) & 0xff) / 255.0});
+    }
+    benchmark::DoNotOptimize(summary.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EpsApproxUpdate);
+
+// Merge throughput: pre-built summary pairs, measured per merge.
+template <typename S, typename MakeFn, typename MergeFn>
+void MergeBenchmark(benchmark::State& state, MakeFn make, MergeFn merge) {
+  const auto& stream = ZipfStream();
+  S left = make(1);
+  S right = make(2);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    (i % 2 == 0 ? left : right).Update(stream[i]);
+  }
+  for (auto _ : state) {
+    S copy = left;
+    merge(copy, right);
+    benchmark::DoNotOptimize(copy.n());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MisraGriesMergeAgarwal(benchmark::State& state) {
+  MergeBenchmark<MisraGries>(
+      state, [](uint64_t) { return MisraGries(1024); },
+      [](MisraGries& a, const MisraGries& b) { a.Merge(b); });
+}
+BENCHMARK(BM_MisraGriesMergeAgarwal);
+
+void BM_MisraGriesMergeCafaro(benchmark::State& state) {
+  MergeBenchmark<MisraGries>(
+      state, [](uint64_t) { return MisraGries(1024); },
+      [](MisraGries& a, const MisraGries& b) { a.MergeCafaro(b); });
+}
+BENCHMARK(BM_MisraGriesMergeCafaro);
+
+void BM_SpaceSavingMergeAgarwal(benchmark::State& state) {
+  MergeBenchmark<SpaceSaving>(
+      state, [](uint64_t) { return SpaceSaving(1024); },
+      [](SpaceSaving& a, const SpaceSaving& b) { a.Merge(b); });
+}
+BENCHMARK(BM_SpaceSavingMergeAgarwal);
+
+void BM_SpaceSavingMergeCafaro(benchmark::State& state) {
+  MergeBenchmark<SpaceSaving>(
+      state, [](uint64_t) { return SpaceSaving(1024); },
+      [](SpaceSaving& a, const SpaceSaving& b) { a.MergeCafaro(b); });
+}
+BENCHMARK(BM_SpaceSavingMergeCafaro);
+
+void BM_CountMinMerge(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  CountMinSketch left(4, 2048, 1);
+  CountMinSketch right(4, 2048, 1);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    (i % 2 == 0 ? left : right).Update(stream[i]);
+  }
+  for (auto _ : state) {
+    CountMinSketch copy = left;
+    copy.Merge(right);
+    benchmark::DoNotOptimize(copy.n());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinMerge);
+
+void BM_MisraGriesQuery(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  MisraGries mg(1024);
+  for (uint64_t item : stream) mg.Update(item);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mg.LowerEstimate(stream[probe % stream.size()]));
+    ++probe;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesQuery);
+
+void BM_QuantileQuery(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  MergeableQuantiles sketch(512, 1);
+  for (uint64_t item : stream) {
+    sketch.Update(static_cast<double>(item & 0xffff));
+  }
+  double phi = 0.0;
+  for (auto _ : state) {
+    phi += 0.001;
+    if (phi >= 1.0) phi = 0.001;
+    benchmark::DoNotOptimize(sketch.Quantile(phi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileQuery);
+
+}  // namespace
+}  // namespace mergeable
+
+BENCHMARK_MAIN();

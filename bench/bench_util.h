@@ -1,0 +1,66 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench regenerates one experiment from DESIGN.md §4 and prints an
+// aligned table to stdout; EXPERIMENTS.md records the interpretation.
+
+#ifndef MERGEABLE_BENCH_BENCH_UTIL_H_
+#define MERGEABLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mergeable::bench {
+
+// Prints a row of right-aligned cells, 14 characters wide, first cell 28.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-28s" : "%14s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  PrintRow(columns);
+  size_t width = 28 + 14 * (columns.size() - 1);
+  std::printf("%s\n", std::string(width, '-').c_str());
+}
+
+inline std::string FormatDouble(double value, int decimals = 4) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+inline std::string FormatU64(uint64_t value) { return std::to_string(value); }
+
+// Exact frequencies of a stream (ground truth for error measurements).
+inline std::map<uint64_t, uint64_t> TrueCounts(
+    const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  return counts;
+}
+
+// max over all items x of |estimate(x) - f(x)|, where `estimate` maps an
+// item to the summary's point estimate (items absent from the summary
+// must estimate as 0 or the summary's floor — callers decide).
+template <typename EstimateFn>
+uint64_t MaxAbsError(const std::map<uint64_t, uint64_t>& truth,
+                     EstimateFn estimate) {
+  uint64_t worst = 0;
+  for (const auto& [item, count] : truth) {
+    const uint64_t guess = estimate(item);
+    const uint64_t error = guess > count ? guess - count : count - guess;
+    if (error > worst) worst = error;
+  }
+  return worst;
+}
+
+}  // namespace mergeable::bench
+
+#endif  // MERGEABLE_BENCH_BENCH_UTIL_H_

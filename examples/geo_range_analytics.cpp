@@ -1,0 +1,80 @@
+// Geo-distributed range analytics: regional data centers summarize the
+// locations of events (normalized to the unit square); headquarters
+// merges the eps-approximations and answers "how many events in this
+// rectangle?" for arbitrary dashboards — the d=2 instantiation of the
+// paper's range-space result (R5).
+
+#include <cstdio>
+#include <vector>
+
+#include "mergeable/approx/eps_approximation.h"
+#include "mergeable/approx/range_counting.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/random.h"
+
+namespace {
+
+using mergeable::EpsApproximation;
+using mergeable::GeneratePoints;
+using mergeable::HalvingPolicy;
+using mergeable::MergeAll;
+using mergeable::MergeTopology;
+using mergeable::Point2;
+using mergeable::Rect;
+using mergeable::Rng;
+
+}  // namespace
+
+int main() {
+  constexpr int kRegions = 8;
+  constexpr int kEventsPerRegion = 100000;
+
+  // Each region sees its own geographic cluster pattern.
+  std::vector<Point2> all_events;
+  std::vector<EpsApproximation> summaries;
+  for (int region = 0; region < kRegions; ++region) {
+    Rng rng(500 + static_cast<uint64_t>(region));
+    const auto events =
+        GeneratePoints(kEventsPerRegion, /*clusters=*/2 + region % 3, rng);
+    EpsApproximation summary(1024, 900 + static_cast<uint64_t>(region),
+                             HalvingPolicy::kMorton);
+    for (const Point2& event : events) summary.Update(event);
+    all_events.insert(all_events.end(), events.begin(), events.end());
+    summaries.push_back(std::move(summary));
+  }
+
+  const EpsApproximation global =
+      MergeAll(std::move(summaries), MergeTopology::kBalancedTree);
+
+  std::printf("%d regions x %d events; merged summary keeps %zu points "
+              "(%.2f%% of the data)\n\n",
+              kRegions, kEventsPerRegion, global.StoredPoints(),
+              100.0 * static_cast<double>(global.StoredPoints()) /
+                  static_cast<double>(global.n()));
+
+  const Rect dashboards[] = {
+      {0.0, 0.5, 0.0, 0.5},    // south-west quadrant
+      {0.25, 0.75, 0.25, 0.75},  // city center
+      {0.9, 1.0, 0.9, 1.0},    // north-east corner
+      {0.0, 1.0, 0.45, 0.55},  // equatorial band
+  };
+  const char* names[] = {"SW quadrant", "city center", "NE corner",
+                         "equatorial band"};
+
+  std::printf("%-18s %12s %12s %10s\n", "query", "estimate", "exact",
+              "err/n");
+  for (int q = 0; q < 4; ++q) {
+    const auto estimate = static_cast<double>(
+        global.RangeCount(dashboards[q]));
+    const auto exact = static_cast<double>(
+        mergeable::ExactRangeCount(all_events, dashboards[q]));
+    std::printf("%-18s %12.0f %12.0f %9.4f%%\n", names[q], estimate, exact,
+                100.0 * std::abs(estimate - exact) /
+                    static_cast<double>(all_events.size()));
+  }
+  std::printf(
+      "\nEach answer lands within the summary's eps*n budget (~1-2%% of "
+      "n at this buffer size), although the summary never saw the query "
+      "rectangles in advance.\n");
+  return 0;
+}

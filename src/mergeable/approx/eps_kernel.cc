@@ -1,0 +1,132 @@
+#include "mergeable/approx/eps_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+EpsKernel::EpsKernel(int directions) {
+  MERGEABLE_CHECK_MSG(directions >= 4, "EpsKernel needs >= 4 directions");
+  cos_.resize(static_cast<size_t>(directions));
+  sin_.resize(static_cast<size_t>(directions));
+  best_.resize(static_cast<size_t>(directions));
+  for (int d = 0; d < directions; ++d) {
+    const double angle = kTwoPi * d / directions;
+    cos_[static_cast<size_t>(d)] = std::cos(angle);
+    sin_[static_cast<size_t>(d)] = std::sin(angle);
+  }
+}
+
+EpsKernel EpsKernel::ForEpsilon(double epsilon) {
+  MERGEABLE_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0,
+                      "epsilon must be in (0, 1)");
+  // Adjacent directions are sqrt(2 eps) apart, so the worst-case dot
+  // product loss is a (1 - cos(theta/2)) ~ eps/... factor; the constant
+  // is calibrated by the kernel tests.
+  const int directions = std::max(
+      4, static_cast<int>(std::ceil(kTwoPi / std::sqrt(2.0 * epsilon))));
+  return EpsKernel(directions);
+}
+
+void EpsKernel::Update(const Point2& point) {
+  ++n_;
+  for (size_t d = 0; d < best_.size(); ++d) {
+    const double dot = point.x * cos_[d] + point.y * sin_[d];
+    if (!best_[d].valid || dot > best_[d].dot) {
+      best_[d] = Extreme{dot, point, true};
+    }
+  }
+}
+
+void EpsKernel::Merge(const EpsKernel& other) {
+  MERGEABLE_CHECK_MSG(best_.size() == other.best_.size(),
+                      "cannot merge kernels with different direction counts");
+  for (size_t d = 0; d < best_.size(); ++d) {
+    const Extreme& theirs = other.best_[d];
+    if (!theirs.valid) continue;
+    if (!best_[d].valid || theirs.dot > best_[d].dot) best_[d] = theirs;
+  }
+  n_ += other.n_;
+}
+
+double EpsKernel::DirectionalExtent(double angle) const {
+  MERGEABLE_CHECK_MSG(n_ > 0, "extent of an empty kernel");
+  const double ux = std::cos(angle);
+  const double uy = std::sin(angle);
+  double max_dot = -1e300;
+  double min_dot = 1e300;
+  for (const Extreme& extreme : best_) {
+    if (!extreme.valid) continue;
+    const double dot = extreme.point.x * ux + extreme.point.y * uy;
+    max_dot = std::max(max_dot, dot);
+    min_dot = std::min(min_dot, dot);
+  }
+  return max_dot - min_dot;
+}
+
+std::vector<Point2> EpsKernel::CorePoints() const {
+  std::vector<Point2> points;
+  points.reserve(best_.size());
+  for (const Extreme& extreme : best_) {
+    if (extreme.valid) points.push_back(extreme.point);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point2& a, const Point2& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.y < b.y;
+            });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+namespace {
+constexpr uint32_t kKernelMagic = 0x31304b45;  // "EK01"
+}  // namespace
+
+void EpsKernel::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kKernelMagic);
+  writer.PutU32(static_cast<uint32_t>(best_.size()));
+  writer.PutU64(n_);
+  for (const Extreme& extreme : best_) {
+    writer.PutU32(extreme.valid ? 1 : 0);
+    writer.PutDouble(extreme.dot);
+    writer.PutDouble(extreme.point.x);
+    writer.PutDouble(extreme.point.y);
+  }
+}
+
+std::optional<EpsKernel> EpsKernel::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  uint32_t directions = 0;
+  uint64_t n = 0;
+  if (!reader.GetU32(&magic) || magic != kKernelMagic) return std::nullopt;
+  if (!reader.GetU32(&directions) || directions < 4 ||
+      directions > (1u << 20)) {
+    return std::nullopt;
+  }
+  if (!reader.GetU64(&n)) return std::nullopt;
+  EpsKernel kernel(static_cast<int>(directions));
+  for (Extreme& extreme : kernel.best_) {
+    uint32_t valid = 0;
+    if (!reader.GetU32(&valid) || valid > 1 ||
+        !reader.GetDouble(&extreme.dot) ||
+        !reader.GetDouble(&extreme.point.x) ||
+        !reader.GetDouble(&extreme.point.y)) {
+      return std::nullopt;
+    }
+    extreme.valid = valid == 1;
+    if ((n == 0) == extreme.valid) return std::nullopt;  // Consistency.
+  }
+  if (!reader.Exhausted()) return std::nullopt;
+  kernel.n_ = n;
+  return kernel;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,100 @@
+#include "mergeable/approx/eps_net.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+namespace {
+
+// Keeps a uniform without-replacement subset of `take` points via a
+// partial Fisher-Yates shuffle.
+void TakeUniform(std::vector<Point2>& points, size_t take, Rng& rng) {
+  MERGEABLE_CHECK(take <= points.size());
+  for (size_t i = 0; i < take; ++i) {
+    const size_t j = i + rng.UniformInt(points.size() - i);
+    std::swap(points[i], points[j]);
+  }
+  points.resize(take);
+}
+
+}  // namespace
+
+EpsNet::EpsNet(int sample_size, uint64_t seed)
+    : sample_size_(sample_size), rng_(seed) {
+  MERGEABLE_CHECK_MSG(sample_size >= 1, "EpsNet sample_size must be >= 1");
+  points_.reserve(static_cast<size_t>(sample_size));
+}
+
+EpsNet EpsNet::ForEpsilon(double epsilon, double delta, uint64_t seed) {
+  MERGEABLE_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0,
+                      "epsilon must be in (0, 1)");
+  MERGEABLE_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const int size = std::max(
+      1, static_cast<int>(std::ceil(8.0 / epsilon * std::log(2.0 / delta))));
+  return EpsNet(size, seed);
+}
+
+void EpsNet::Update(const Point2& point) {
+  ++n_;
+  if (points_.size() < static_cast<size_t>(sample_size_)) {
+    points_.push_back(point);
+    return;
+  }
+  const uint64_t slot = rng_.UniformInt(n_);
+  if (slot < static_cast<uint64_t>(sample_size_)) {
+    points_[slot] = point;
+  }
+}
+
+void EpsNet::Merge(const EpsNet& other) {
+  MERGEABLE_CHECK_MSG(sample_size_ == other.sample_size_,
+                      "cannot merge nets of different sample sizes");
+  const uint64_t total = n_ + other.n_;
+  const size_t out =
+      std::min<uint64_t>(static_cast<uint64_t>(sample_size_), total);
+
+  uint64_t remaining_mine = n_;
+  uint64_t remaining_theirs = other.n_;
+  size_t from_mine = 0;
+  for (size_t i = 0; i < out; ++i) {
+    const uint64_t pick = rng_.UniformInt(remaining_mine + remaining_theirs);
+    if (pick < remaining_mine) {
+      ++from_mine;
+      --remaining_mine;
+    } else {
+      --remaining_theirs;
+    }
+  }
+  const size_t from_theirs = out - from_mine;
+  MERGEABLE_CHECK(from_mine <= points_.size());
+  MERGEABLE_CHECK(from_theirs <= other.points_.size());
+
+  TakeUniform(points_, from_mine, rng_);
+  std::vector<Point2> theirs = other.points_;
+  TakeUniform(theirs, from_theirs, rng_);
+  points_.insert(points_.end(), theirs.begin(), theirs.end());
+  n_ = total;
+}
+
+bool EpsNet::Hits(const Rect& rect) const {
+  for (const Point2& point : points_) {
+    if (rect.Contains(point)) return true;
+  }
+  return false;
+}
+
+uint64_t EpsNet::EstimateCount(const Rect& rect) const {
+  if (points_.empty()) return 0;
+  size_t inside = 0;
+  for (const Point2& point : points_) {
+    if (rect.Contains(point)) ++inside;
+  }
+  const double fraction =
+      static_cast<double>(inside) / static_cast<double>(points_.size());
+  return static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(n_)));
+}
+
+}  // namespace mergeable

@@ -1,0 +1,65 @@
+// Mergeable ε-net for rectangle ranges (the paper's companion notion to
+// ε-approximations).
+//
+// An ε-net N of a point set P hits every heavy range: any rectangle R
+// with |P ∩ R| >= ε |P| contains at least one point of N. Random
+// sampling gives an ε-net of size O((d/ε) log(1/δ)) with probability
+// 1 - δ — much smaller than an ε-approximation — and a uniform sample
+// is exactly mergeable (hypergeometric reservoir merge), which is how
+// the paper places ε-nets in the mergeable class.
+//
+// The net therefore answers one-sided emptiness questions: "is this
+// range heavy?" — if no net point falls in R, then (w.h.p.) R holds
+// fewer than ε n points.
+
+#ifndef MERGEABLE_APPROX_EPS_NET_H_
+#define MERGEABLE_APPROX_EPS_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mergeable/approx/point.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+class EpsNet {
+ public:
+  // A uniform sample of `sample_size` points. Requires sample_size >= 1.
+  EpsNet(int sample_size, uint64_t seed);
+
+  // Sizes the sample as ceil((8/epsilon) * ln(2/delta)): an ε-net for
+  // rectangles with probability >= 1 - delta. Requires epsilon, delta
+  // in (0, 1).
+  static EpsNet ForEpsilon(double epsilon, double delta, uint64_t seed);
+
+  void Update(const Point2& point);
+
+  // Exact reservoir merge (hypergeometric split): the result is a
+  // uniform sample of the union. Requires identical sample sizes.
+  void Merge(const EpsNet& other);
+
+  // True if any retained point lies in `rect`. A false return certifies
+  // (w.h.p.) that |P ∩ rect| < epsilon * n for the epsilon this net was
+  // sized for.
+  bool Hits(const Rect& rect) const;
+
+  // Estimated |P ∩ rect| scaled from the sample (coarse — the net is
+  // sized for hitting, not counting).
+  uint64_t EstimateCount(const Rect& rect) const;
+
+  uint64_t n() const { return n_; }
+  size_t size() const { return points_.size(); }
+  const std::vector<Point2>& points() const { return points_; }
+
+ private:
+  int sample_size_;
+  Rng rng_;
+  uint64_t n_ = 0;
+  std::vector<Point2> points_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_APPROX_EPS_NET_H_

@@ -1,0 +1,90 @@
+#include "mergeable/approx/halving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+uint64_t MortonCode(const Point2& p) {
+  const auto quantize = [](double v) -> uint64_t {
+    const double clamped = std::min(1.0, std::max(0.0, v));
+    return static_cast<uint64_t>(clamped * 65535.0);
+  };
+  uint64_t x = quantize(p.x);
+  uint64_t y = quantize(p.y);
+  // Interleave the low 16 bits of x and y.
+  const auto spread = [](uint64_t v) {
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::string ToString(HalvingPolicy policy) {
+  switch (policy) {
+    case HalvingPolicy::kRandomPairs:
+      return "random-pairs";
+    case HalvingPolicy::kSortedX:
+      return "sorted-x";
+    case HalvingPolicy::kMorton:
+      return "morton";
+  }
+  return "unknown";
+}
+
+void HalveBuffer(std::vector<Point2>& points, HalvingPolicy policy, Rng& rng,
+                 std::vector<Point2>* leftover) {
+  if (points.size() < 2) {
+    if (points.size() == 1) {
+      MERGEABLE_CHECK_MSG(leftover != nullptr, "odd buffer needs leftover");
+      leftover->push_back(points.front());
+      points.clear();
+    }
+    return;
+  }
+
+  // Put the points in pairing order.
+  switch (policy) {
+    case HalvingPolicy::kRandomPairs:
+      for (size_t i = points.size(); i > 1; --i) {
+        std::swap(points[i - 1], points[rng.UniformInt(i)]);
+      }
+      break;
+    case HalvingPolicy::kSortedX:
+      std::sort(points.begin(), points.end(),
+                [](const Point2& a, const Point2& b) {
+                  if (a.x != b.x) return a.x < b.x;
+                  return a.y < b.y;
+                });
+      break;
+    case HalvingPolicy::kMorton:
+      std::sort(points.begin(), points.end(),
+                [](const Point2& a, const Point2& b) {
+                  return MortonCode(a) < MortonCode(b);
+                });
+      break;
+  }
+
+  // Peel off a leftover if odd. For the sorted policies take the last
+  // point (keeps pairs adjacent); for random pairing the order is already
+  // random, so the last point is a uniform choice.
+  if (points.size() % 2 == 1) {
+    MERGEABLE_CHECK_MSG(leftover != nullptr, "odd buffer needs leftover");
+    leftover->push_back(points.back());
+    points.pop_back();
+  }
+
+  // One fair coin per pair decides which member survives.
+  size_t write = 0;
+  for (size_t i = 0; i + 1 < points.size(); i += 2) {
+    points[write++] = points[i + rng.UniformInt(2)];
+  }
+  points.resize(write);
+}
+
+}  // namespace mergeable

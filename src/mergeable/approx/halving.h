@@ -1,0 +1,55 @@
+// Halving policies for the merge-reduce ε-approximation framework.
+//
+// A "halving" takes a buffer of 2m points and keeps m of them so that
+// every query range keeps roughly half of its points. The quality of the
+// halving determines the ε-approximation size bound (Agarwal et al.,
+// result R5):
+//
+//  * kRandomPairs — the paper's randomized halving: points are paired
+//    arbitrarily and a fair coin picks one survivor per pair. Every range
+//    error is a zero-mean sum of ±1/2 coin flips over the pairs it cuts:
+//    O(sqrt(m)) discrepancy, fully mergeable, size Õ(1/ε²).
+//  * kSortedX — pair consecutive points in x-order. For 1-D ranges
+//    (half-planes x <= t) at most one pair straddles the boundary, so the
+//    discrepancy is at most 1: this is exactly the quantile summary's
+//    same-weight merge generalized to points.
+//  * kMorton — pair consecutive points in Z-order (a practical surrogate
+//    for the min-discrepancy coloring, which is not polynomial-time
+//    computable; see DESIGN.md "Substitutions"). Axis-aligned rectangles
+//    cut few Z-order pairs, so the per-halving discrepancy is lower than
+//    random pairing; benchmark E6 quantifies the gap.
+//
+// All policies flip fair coins per pair (except that kSortedX and kMorton
+// pair deterministically), so every halving keeps the zero-mean error
+// property the mergeability analysis needs.
+
+#ifndef MERGEABLE_APPROX_HALVING_H_
+#define MERGEABLE_APPROX_HALVING_H_
+
+#include <string>
+#include <vector>
+
+#include "mergeable/approx/point.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+enum class HalvingPolicy {
+  kRandomPairs,
+  kSortedX,
+  kMorton,
+};
+
+// Human-readable policy name for logs and benchmark tables.
+std::string ToString(HalvingPolicy policy);
+
+// Halves `points` in place according to `policy`. If the size is odd, one
+// point (chosen uniformly) is a "leftover" that survives unconditionally
+// and is reported via `leftover`; exactly floor(size / 2) of the rest
+// survive. `leftover` may be null when the caller guarantees even sizes.
+void HalveBuffer(std::vector<Point2>& points, HalvingPolicy policy, Rng& rng,
+                 std::vector<Point2>* leftover);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_APPROX_HALVING_H_

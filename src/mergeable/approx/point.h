@@ -1,0 +1,42 @@
+// Plain geometric vocabulary types for the range-space code.
+
+#ifndef MERGEABLE_APPROX_POINT_H_
+#define MERGEABLE_APPROX_POINT_H_
+
+#include <cstdint>
+
+namespace mergeable {
+
+// A point in the plane. The ε-approximation code assumes (but does not
+// require) coordinates in [0, 1]; the Morton-order halving quantizes to
+// that box, clamping outliers.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// An axis-aligned rectangle [x_min, x_max] x [y_min, y_max]; the query
+// ranges of the range space (R^2, rectangles), VC dimension 4.
+struct Rect {
+  double x_min = 0.0;
+  double x_max = 1.0;
+  double y_min = 0.0;
+  double y_max = 1.0;
+
+  bool Contains(const Point2& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+  }
+};
+
+// Z-order (Morton) code of a point quantized to a 2^16 x 2^16 grid over
+// [0, 1]^2 (out-of-box coordinates clamp). Sorting by this key gives a
+// locality-preserving order used by the low-discrepancy halving policy.
+uint64_t MortonCode(const Point2& p);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_APPROX_POINT_H_

@@ -1,0 +1,79 @@
+#include "mergeable/approx/range_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+uint64_t ExactRangeCount(const std::vector<Point2>& points, const Rect& rect) {
+  uint64_t count = 0;
+  for (const Point2& point : points) {
+    if (rect.Contains(point)) ++count;
+  }
+  return count;
+}
+
+std::vector<Rect> GenerateRandomRects(int count, Rng& rng) {
+  MERGEABLE_CHECK_MSG(count >= 1, "need at least one query");
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    double x0 = rng.UniformDouble();
+    double x1 = rng.UniformDouble();
+    double y0 = rng.UniformDouble();
+    double y1 = rng.UniformDouble();
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    rects.push_back(Rect{x0, x1, y0, y1});
+  }
+  return rects;
+}
+
+std::vector<Point2> GeneratePoints(int count, int clusters, Rng& rng) {
+  MERGEABLE_CHECK_MSG(count >= 1, "need at least one point");
+  MERGEABLE_CHECK_MSG(clusters >= 0, "clusters must be non-negative");
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(count));
+  if (clusters == 0) {
+    for (int i = 0; i < count; ++i) {
+      points.push_back(Point2{rng.UniformDouble(), rng.UniformDouble()});
+    }
+    return points;
+  }
+  // Cluster centers, then a cheap approximate Gaussian (sum of uniforms)
+  // around a random center per point, clipped to the unit box.
+  std::vector<Point2> centers;
+  centers.reserve(static_cast<size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    centers.push_back(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  const auto noise = [&rng]() {
+    return (rng.UniformDouble() + rng.UniformDouble() +
+            rng.UniformDouble() - 1.5) *
+           0.1;
+  };
+  const auto clip = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  for (int i = 0; i < count; ++i) {
+    const Point2& center = centers[rng.UniformInt(centers.size())];
+    points.push_back(Point2{clip(center.x + noise()), clip(center.y + noise())});
+  }
+  return points;
+}
+
+double MaxRelativeRangeError(const EpsApproximation& summary,
+                             const std::vector<Point2>& points,
+                             const std::vector<Rect>& queries) {
+  MERGEABLE_CHECK_MSG(!points.empty(), "need a non-empty point set");
+  double worst = 0.0;
+  const double n = static_cast<double>(points.size());
+  for (const Rect& rect : queries) {
+    const auto exact = static_cast<double>(ExactRangeCount(points, rect));
+    const auto approx = static_cast<double>(summary.RangeCount(rect));
+    worst = std::max(worst, std::abs(approx - exact) / n);
+  }
+  return worst;
+}
+
+}  // namespace mergeable

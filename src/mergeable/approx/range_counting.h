@@ -1,0 +1,34 @@
+// Ground-truth range counting and query workloads for the
+// ε-approximation experiments.
+
+#ifndef MERGEABLE_APPROX_RANGE_COUNTING_H_
+#define MERGEABLE_APPROX_RANGE_COUNTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mergeable/approx/eps_approximation.h"
+#include "mergeable/approx/point.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// Exact |points ∩ rect|.
+uint64_t ExactRangeCount(const std::vector<Point2>& points, const Rect& rect);
+
+// `count` random non-degenerate rectangles inside [0, 1]^2.
+std::vector<Rect> GenerateRandomRects(int count, Rng& rng);
+
+// `count` points distributed per `clusters`: 0 means uniform over
+// [0, 1]^2; otherwise a mixture of that many Gaussian-ish clusters
+// (clipped to the box), a workload where locality-aware halving matters.
+std::vector<Point2> GeneratePoints(int count, int clusters, Rng& rng);
+
+// max over `queries` of |approx count - exact count| / |points|.
+double MaxRelativeRangeError(const EpsApproximation& summary,
+                             const std::vector<Point2>& points,
+                             const std::vector<Rect>& queries);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_APPROX_RANGE_COUNTING_H_

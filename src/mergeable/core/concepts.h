@@ -1,0 +1,31 @@
+// C++20 concepts naming the contracts the merge framework relies on.
+//
+// Kept deliberately small (see the style guide's advice on concepts):
+// they only encode what the compiler can verify and what the merge
+// drivers in merge_driver.h actually require.
+
+#ifndef MERGEABLE_CORE_CONCEPTS_H_
+#define MERGEABLE_CORE_CONCEPTS_H_
+
+#include <concepts>
+
+namespace mergeable {
+
+// A summary that can absorb another summary of the same type. The
+// semantic contract (not compiler-checkable): after s.Merge(o), s
+// summarizes the multiset union of the two inputs within the documented
+// error bound, and its size bound is unchanged.
+template <typename S>
+concept Mergeable = std::movable<S> && requires(S s, const S& other) {
+  s.Merge(other);
+};
+
+// A mergeable summary that is built by streaming items of type Item.
+template <typename S, typename Item>
+concept StreamSummary = Mergeable<S> && requires(S s, Item item) {
+  s.Update(item);
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_CORE_CONCEPTS_H_

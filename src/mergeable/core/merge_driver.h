@@ -1,0 +1,128 @@
+// Merge drivers: folding many per-shard summaries into one, under
+// different merge-tree shapes.
+//
+// The central claim of "Mergeable summaries" is that a mergeable
+// summary's guarantee is independent of the merge tree: a left-deep chain
+// of 256 merges, a balanced reduction and a random tree must all produce
+// a summary with the same epsilon * n bound. The drivers here make that
+// claim testable: benchmark E1 sweeps topologies and checks the error is
+// flat.
+
+#ifndef MERGEABLE_CORE_MERGE_DRIVER_H_
+#define MERGEABLE_CORE_MERGE_DRIVER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mergeable/core/concepts.h"
+#include "mergeable/util/check.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// Shape of the merge tree applied to the per-shard summaries.
+enum class MergeTopology {
+  // ((s0 + s1) + s2) + ... — maximally deep; the classic streaming
+  // aggregation order.
+  kLeftDeepChain,
+  // Pairwise reduction rounds — the shape of hierarchical (e.g.
+  // datacenter) aggregation, depth log2(m).
+  kBalancedTree,
+  // Uniformly random binary tree — models opportunistic gossip-style
+  // aggregation.
+  kRandomTree,
+};
+
+inline std::string ToString(MergeTopology topology) {
+  switch (topology) {
+    case MergeTopology::kLeftDeepChain:
+      return "chain";
+    case MergeTopology::kBalancedTree:
+      return "balanced";
+    case MergeTopology::kRandomTree:
+      return "random";
+  }
+  return "unknown";
+}
+
+inline const MergeTopology kAllTopologies[] = {
+    MergeTopology::kLeftDeepChain,
+    MergeTopology::kBalancedTree,
+    MergeTopology::kRandomTree,
+};
+
+// Folds `parts` into a single summary using `merge_fn(into, from)` in the
+// order dictated by `topology`. Consumes `parts`. `rng` is required for
+// kRandomTree (may be null otherwise).
+template <typename S, typename MergeFn>
+  requires std::movable<S>
+S MergeAllWith(std::vector<S> parts, MergeTopology topology, MergeFn merge_fn,
+               Rng* rng = nullptr) {
+  MERGEABLE_CHECK_MSG(!parts.empty(), "MergeAll needs at least one summary");
+  switch (topology) {
+    case MergeTopology::kLeftDeepChain: {
+      S result = std::move(parts.front());
+      for (size_t i = 1; i < parts.size(); ++i) merge_fn(result, parts[i]);
+      return result;
+    }
+    case MergeTopology::kBalancedTree: {
+      while (parts.size() > 1) {
+        std::vector<S> next;
+        next.reserve((parts.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < parts.size(); i += 2) {
+          merge_fn(parts[i], parts[i + 1]);
+          next.push_back(std::move(parts[i]));
+        }
+        if (parts.size() % 2 == 1) next.push_back(std::move(parts.back()));
+        parts = std::move(next);
+      }
+      return std::move(parts.front());
+    }
+    case MergeTopology::kRandomTree: {
+      MERGEABLE_CHECK_MSG(rng != nullptr, "kRandomTree needs an Rng");
+      while (parts.size() > 1) {
+        const size_t a = rng->UniformInt(parts.size());
+        size_t b = rng->UniformInt(parts.size() - 1);
+        if (b >= a) ++b;
+        merge_fn(parts[a], parts[b]);
+        std::swap(parts[b], parts.back());
+        parts.pop_back();
+      }
+      return std::move(parts.front());
+    }
+  }
+  MERGEABLE_CHECK_MSG(false, "unknown MergeTopology");
+  return std::move(parts.front());
+}
+
+// MergeAllWith using the summary's own Merge method.
+template <Mergeable S>
+S MergeAll(std::vector<S> parts, MergeTopology topology, Rng* rng = nullptr) {
+  return MergeAllWith(
+      std::move(parts), topology,
+      [](S& into, const S& from) { into.Merge(from); }, rng);
+}
+
+// Builds one summary per shard: `factory()` creates an empty summary,
+// which then consumes every item of its shard via Update.
+template <typename Item, typename Factory>
+auto SummarizeShards(const std::vector<std::vector<Item>>& shards,
+                     Factory factory)
+    -> std::vector<decltype(factory())> {
+  using S = decltype(factory());
+  static_assert(StreamSummary<S, Item>);
+  std::vector<S> summaries;
+  summaries.reserve(shards.size());
+  for (const std::vector<Item>& shard : shards) {
+    S summary = factory();
+    for (const Item& item : shard) summary.Update(item);
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_CORE_MERGE_DRIVER_H_

@@ -1,0 +1,50 @@
+// Shared vocabulary types for the counter-based frequency summaries.
+
+#ifndef MERGEABLE_FREQUENCY_COUNTER_H_
+#define MERGEABLE_FREQUENCY_COUNTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mergeable {
+
+// One monitored item and its counter value. The meaning of `count`
+// (under- vs over-estimate of the item's true frequency) depends on the
+// summary that produced it.
+struct Counter {
+  uint64_t item = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const Counter& a, const Counter& b) {
+    return a.item == b.item && a.count == b.count;
+  }
+};
+
+// Sorts counters by ascending count; ties broken by item id so the order
+// is deterministic.
+inline void SortByCountAscending(std::vector<Counter>& counters) {
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter& a, const Counter& b) {
+              if (a.count != b.count) return a.count < b.count;
+              return a.item < b.item;
+            });
+}
+
+// Sorts counters by descending count; ties broken by item id.
+inline void SortByCountDescending(std::vector<Counter>& counters) {
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter& a, const Counter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.item < b.item;
+            });
+}
+
+// Pointwise sum of two counter sets: items appearing in both have their
+// counts added; result order is unspecified.
+std::vector<Counter> CombineCounters(const std::vector<Counter>& a,
+                                     const std::vector<Counter>& b);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_FREQUENCY_COUNTER_H_

@@ -1,0 +1,76 @@
+// Exact frequency baseline: a hash map of full counts.
+//
+// Trivially mergeable with zero error and unbounded size; the ground
+// truth that the bounded-memory summaries are measured against in
+// examples, tests and benchmarks.
+
+#ifndef MERGEABLE_FREQUENCY_EXACT_COUNTER_H_
+#define MERGEABLE_FREQUENCY_EXACT_COUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mergeable/frequency/counter.h"
+
+namespace mergeable {
+
+class ExactCounter {
+ public:
+  ExactCounter() = default;
+
+  void Update(uint64_t item, uint64_t weight = 1) {
+    if (weight == 0) return;
+    counts_[item] += weight;
+    n_ += weight;
+  }
+
+  void Merge(const ExactCounter& other) {
+    for (const auto& [item, count] : other.counts_) counts_[item] += count;
+    n_ += other.n_;
+  }
+
+  // The exact frequency of `item` (0 if never seen).
+  uint64_t Count(uint64_t item) const {
+    const auto it = counts_.find(item);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // Exact estimates make the baseline drop-in compatible with the
+  // bounded summaries' query interface.
+  uint64_t LowerEstimate(uint64_t item) const { return Count(item); }
+  uint64_t UpperEstimate(uint64_t item) const { return Count(item); }
+
+  uint64_t n() const { return n_; }
+  size_t size() const { return counts_.size(); }
+
+  // All counters sorted by descending count.
+  std::vector<Counter> Counters() const {
+    std::vector<Counter> result;
+    result.reserve(counts_.size());
+    for (const auto& [item, count] : counts_) {
+      result.push_back(Counter{item, count});
+    }
+    SortByCountDescending(result);
+    return result;
+  }
+
+  // Items with frequency >= threshold, sorted by descending count.
+  std::vector<Counter> FrequentItems(uint64_t threshold) const {
+    std::vector<Counter> result;
+    for (const auto& [item, count] : counts_) {
+      if (count >= threshold) result.push_back(Counter{item, count});
+    }
+    SortByCountDescending(result);
+    return result;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_FREQUENCY_EXACT_COUNTER_H_

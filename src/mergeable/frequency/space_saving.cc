@@ -1,0 +1,325 @@
+#include "mergeable/frequency/space_saving.h"
+
+#include <cstddef>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+SpaceSaving::SpaceSaving(int capacity) : capacity_(capacity) {
+  MERGEABLE_CHECK_MSG(capacity >= 2, "SpaceSaving capacity must be >= 2");
+  entries_.reserve(static_cast<size_t>(capacity));
+  index_of_.reserve(static_cast<size_t>(capacity) * 2);
+}
+
+SpaceSaving SpaceSaving::ForEpsilon(double epsilon) {
+  MERGEABLE_CHECK_MSG(epsilon > 0.0 && epsilon <= 1.0,
+                      "epsilon must be in (0, 1]");
+  const int capacity = std::max(2, static_cast<int>(std::ceil(1.0 / epsilon)));
+  return SpaceSaving(capacity);
+}
+
+void SpaceSaving::Update(uint64_t item, uint64_t weight) {
+  if (weight == 0) return;
+  n_ += weight;
+  auto it = index_of_.find(item);
+  if (it != index_of_.end()) {
+    entries_[it->second].count += weight;
+    SiftDown(it->second);
+    return;
+  }
+  if (entries_.size() < static_cast<size_t>(capacity_)) {
+    entries_.push_back(Entry{item, weight, 0});
+    index_of_[item] = entries_.size() - 1;
+    SiftUp(entries_.size() - 1);
+    return;
+  }
+  // Evict the minimum counter: the incoming item inherits its count (the
+  // defining SpaceSaving move) and records it as potential overestimation.
+  Entry& root = entries_[0];
+  index_of_.erase(root.item);
+  const uint64_t evicted = root.count;
+  root = Entry{item, evicted + weight, evicted};
+  index_of_[item] = 0;
+  SiftDown(0);
+}
+
+uint64_t SpaceSaving::Count(uint64_t item) const {
+  auto it = index_of_.find(item);
+  return it == index_of_.end() ? 0 : entries_[it->second].count;
+}
+
+uint64_t SpaceSaving::MinCount() const {
+  return entries_.size() == static_cast<size_t>(capacity_)
+             ? entries_[0].count
+             : 0;
+}
+
+uint64_t SpaceSaving::UpperEstimate(uint64_t item) const {
+  auto it = index_of_.find(item);
+  const uint64_t base =
+      it == index_of_.end() ? MinCount() : entries_[it->second].count;
+  return base + under_slack_;
+}
+
+uint64_t SpaceSaving::LowerEstimate(uint64_t item) const {
+  auto it = index_of_.find(item);
+  if (it == index_of_.end()) return 0;
+  const Entry& entry = entries_[it->second];
+  return entry.count - entry.over;
+}
+
+std::vector<Counter> SpaceSaving::Counters() const {
+  std::vector<Counter> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    result.push_back(Counter{entry.item, entry.count});
+  }
+  SortByCountDescending(result);
+  return result;
+}
+
+std::vector<Counter> SpaceSaving::FrequentItems(uint64_t threshold) const {
+  std::vector<Counter> result;
+  for (const Entry& entry : entries_) {
+    if (entry.count + under_slack_ >= threshold) {
+      result.push_back(Counter{entry.item, entry.count});
+    }
+  }
+  SortByCountDescending(result);
+  return result;
+}
+
+std::vector<Counter> SpaceSaving::MgDomainCounters(
+    uint64_t* subtracted_min) const {
+  const uint64_t min = MinCount();
+  *subtracted_min = min;
+  std::vector<Counter> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    if (entry.count > min) {
+      result.push_back(Counter{entry.item, entry.count - min});
+    }
+  }
+  return result;
+}
+
+MisraGries SpaceSaving::ToMisraGries() const {
+  uint64_t min = 0;
+  std::vector<Counter> counters = MgDomainCounters(&min);
+  return MisraGries::FromCounters(capacity_ - 1, counters, n_);
+}
+
+void SpaceSaving::Merge(const SpaceSaving& other) {
+  MERGEABLE_CHECK_MSG(capacity_ == other.capacity_,
+                      "cannot merge summaries of different capacities");
+  uint64_t min1 = 0;
+  uint64_t min2 = 0;
+  std::vector<Counter> combined =
+      CombineCounters(MgDomainCounters(&min1), other.MgDomainCounters(&min2));
+
+  // Prune to capacity_ - 1 counters with the Agarwal et al. Frequent
+  // merge: subtract the capacity_-th largest value from every counter.
+  uint64_t v = 0;
+  const size_t keep = static_cast<size_t>(capacity_) - 1;
+  if (combined.size() > keep) {
+    const auto nth = combined.begin() + static_cast<ptrdiff_t>(keep);
+    std::nth_element(combined.begin(), nth, combined.end(),
+                     [](const Counter& a, const Counter& b) {
+                       return a.count > b.count;
+                     });
+    v = nth->count;
+  }
+
+  const uint64_t total_n = n_ + other.n_;
+  const uint64_t slack =
+      under_slack_ + other.under_slack_ + min1 + min2 + v;
+  entries_.clear();
+  index_of_.clear();
+  for (const Counter& counter : combined) {
+    if (counter.count > v) {
+      entries_.push_back(Entry{counter.item, counter.count - v, 0});
+      index_of_[counter.item] = entries_.size() - 1;
+      SiftUp(entries_.size() - 1);
+    }
+  }
+  n_ = total_n;
+  under_slack_ = slack;
+}
+
+void SpaceSaving::MergeCafaro(const SpaceSaving& other) {
+  MERGEABLE_CHECK_MSG(capacity_ == other.capacity_,
+                      "cannot merge summaries of different capacities");
+  uint64_t min1 = 0;
+  uint64_t min2 = 0;
+  std::vector<Counter> combined =
+      CombineCounters(MgDomainCounters(&min1), other.MgDomainCounters(&min2));
+  SortByCountAscending(combined);
+  RebuildByReplay(std::move(combined), n_ + other.n_,
+                  under_slack_ + other.under_slack_ + min1 + min2);
+}
+
+void SpaceSaving::RebuildByReplay(std::vector<Counter> counters,
+                                  uint64_t total_n,
+                                  uint64_t new_under_slack) {
+  entries_.clear();
+  index_of_.clear();
+  n_ = 0;
+  under_slack_ = 0;
+  // Replaying the combined counters in ascending order reproduces the
+  // SpaceSaving execution that Cafaro et al. solve in closed form (their
+  // Theorem 4.5): the first capacity_ counters fill the table, each later
+  // one replaces the current minimum.
+  for (const Counter& counter : counters) Update(counter.item, counter.count);
+  n_ = total_n;
+  under_slack_ = new_under_slack;
+}
+
+void SpaceSaving::SiftUp(size_t index) {
+  while (index > 0) {
+    const size_t parent = (index - 1) / 2;
+    if (!HeapLess(entries_[index], entries_[parent])) break;
+    std::swap(entries_[index], entries_[parent]);
+    index_of_[entries_[index].item] = index;
+    index_of_[entries_[parent].item] = parent;
+    index = parent;
+  }
+}
+
+void SpaceSaving::SiftDown(size_t index) {
+  const size_t n = entries_.size();
+  while (true) {
+    size_t smallest = index;
+    const size_t left = 2 * index + 1;
+    const size_t right = 2 * index + 2;
+    if (left < n && HeapLess(entries_[left], entries_[smallest])) {
+      smallest = left;
+    }
+    if (right < n && HeapLess(entries_[right], entries_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == index) break;
+    std::swap(entries_[index], entries_[smallest]);
+    index_of_[entries_[index].item] = index;
+    index_of_[entries_[smallest].item] = smallest;
+    index = smallest;
+  }
+}
+
+std::vector<Counter> CafaroClosedFormMergeSpaceSaving(std::vector<Counter> s1,
+                                                      std::vector<Counter> s2,
+                                                      int k) {
+  MERGEABLE_CHECK_MSG(k >= 2, "k-majority parameter must be >= 2");
+  const auto capacity = static_cast<size_t>(k);
+  MERGEABLE_CHECK_MSG(s1.size() <= capacity && s2.size() <= capacity,
+                      "input summaries exceed k counters");
+
+  // Subtract the minimum from each side that is at capacity (Algorithm 3,
+  // lines 2-11), dropping counters that reach zero.
+  const auto subtract_min = [capacity](std::vector<Counter>& s) {
+    if (s.size() != capacity) return;
+    uint64_t min = s.front().count;
+    for (const Counter& counter : s) min = std::min(min, counter.count);
+    std::vector<Counter> reduced;
+    reduced.reserve(s.size());
+    for (const Counter& counter : s) {
+      if (counter.count > min) {
+        reduced.push_back(Counter{counter.item, counter.count - min});
+      }
+    }
+    s = std::move(reduced);
+  };
+  subtract_min(s1);
+  subtract_min(s2);
+
+  std::vector<Counter> combined = CombineCounters(s1, s2);
+  SortByCountAscending(combined);
+  if (combined.size() < capacity) return combined;
+
+  // Pad to exactly 2k-2 counters with zero-frequency dummies at the
+  // front; C[j] below is the paper's C_{j+1}.
+  const size_t total = 2 * capacity - 2;
+  MERGEABLE_CHECK(combined.size() <= total);
+  const size_t pad = total - combined.size();
+  std::vector<Counter> c(total);
+  for (size_t j = 0; j < pad; ++j) c[j] = Counter{0, 0};
+  std::copy(combined.begin(), combined.end(), c.begin() + pad);
+
+  // M[i] = (C_{k-2+i}^e, C_{k-2+i}^f),             i = 1, 2
+  // M[i] = (C_{k-2+i}^e, C_{k-2+i}^f + C_{i-2}^f), i = 3..k
+  std::vector<Counter> merged;
+  merged.reserve(capacity);
+  for (size_t i = 1; i <= 2; ++i) {
+    const Counter& src = c[capacity + i - 3];
+    if (src.count > 0) merged.push_back(src);
+  }
+  for (size_t i = 3; i <= capacity; ++i) {
+    const Counter& src = c[capacity + i - 3];
+    const uint64_t carry = c[i - 3].count;
+    const uint64_t count = src.count + carry;
+    if (count > 0) merged.push_back(Counter{src.item, count});
+  }
+  SortByCountAscending(merged);
+  return merged;
+}
+
+namespace {
+constexpr uint32_t kSpaceSavingMagic = 0x31305353;  // "SS01"
+}  // namespace
+
+void SpaceSaving::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kSpaceSavingMagic);
+  writer.PutU32(static_cast<uint32_t>(capacity_));
+  writer.PutU64(n_);
+  writer.PutU64(under_slack_);
+  writer.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& entry : entries_) {
+    writer.PutU64(entry.item);
+    writer.PutU64(entry.count);
+    writer.PutU64(entry.over);
+  }
+}
+
+std::optional<SpaceSaving> SpaceSaving::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  uint32_t capacity = 0;
+  uint64_t n = 0;
+  uint64_t under_slack = 0;
+  uint32_t count = 0;
+  if (!reader.GetU32(&magic) || magic != kSpaceSavingMagic) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&capacity) || capacity < 2 || capacity > (1u << 30)) {
+    return std::nullopt;
+  }
+  if (!reader.GetU64(&n) || !reader.GetU64(&under_slack) ||
+      !reader.GetU32(&count) || count > capacity) {
+    return std::nullopt;
+  }
+  SpaceSaving summary(static_cast<int>(capacity));
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    if (!reader.GetU64(&entry.item) || !reader.GetU64(&entry.count) ||
+        !reader.GetU64(&entry.over)) {
+      return std::nullopt;
+    }
+    if (entry.count == 0 || entry.over > entry.count) return std::nullopt;
+    if (summary.index_of_.count(entry.item) != 0) return std::nullopt;
+    total += entry.count;
+    summary.entries_.push_back(entry);
+    summary.index_of_[entry.item] = summary.entries_.size() - 1;
+    summary.SiftUp(summary.entries_.size() - 1);
+  }
+  // Invariant for every reachable state (streaming keeps sum == n, both
+  // merges only shrink it): the counters never outweigh the stream.
+  if (total > n || !reader.Exhausted()) return std::nullopt;
+  summary.n_ = n;
+  summary.under_slack_ = under_slack;
+  return summary;
+}
+
+}  // namespace mergeable

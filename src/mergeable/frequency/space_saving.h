@@ -1,0 +1,159 @@
+// The SpaceSaving summary (Metwally, Agrawal, El Abbadi) and its merges.
+//
+// A SpaceSaving summary with capacity k = ceil(1/epsilon) counters
+// processes a weighted stream of total weight n. While streaming, every
+// counter is an upper bound on its item's frequency:
+//
+//     Count(x) - Overestimate(x)  <=  f(x)  <=  Count(x)
+//
+// and any unmonitored item has f(x) <= MinCount() <= n / k. Agarwal et
+// al. (PODS 2012, result R2) prove SpaceSaving is isomorphic to a
+// Misra-Gries summary (subtract the minimum counter from every counter)
+// and therefore fully mergeable with the same O(1/epsilon) size and
+// epsilon * n error.
+//
+// Merging generalizes the invariant to a two-sided window
+//
+//     Count(x) - Overestimate(x)  <=  f(x)  <=  Count(x) + UnderSlack()
+//
+// where UnderSlack() accumulates the minima subtracted by merges (zero
+// while purely streaming) and stays below epsilon * n under arbitrary
+// merge trees — this is exactly the paper's MG-domain argument.
+//
+// Two merge algorithms are provided:
+//   * Merge()       — Agarwal et al.: subtract each side's minimum (when
+//                     full), combine pointwise, prune with the k-th
+//                     largest value (their Frequent merge applied through
+//                     the isomorphism).
+//   * MergeCafaro() — Cafaro et al. Algorithm 3: after the minima
+//                     subtraction, re-run SpaceSaving over the combined
+//                     counters in ascending order; provably never more
+//                     total error, usually much less.
+
+#ifndef MERGEABLE_FREQUENCY_SPACE_SAVING_H_
+#define MERGEABLE_FREQUENCY_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mergeable/frequency/counter.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/util/bytes.h"
+
+namespace mergeable {
+
+class SpaceSaving {
+ public:
+  // Creates a summary with `capacity` counters. Requires capacity >= 2
+  // (the merge algorithms need at least one counter to survive the
+  // isomorphism, which drops one).
+  explicit SpaceSaving(int capacity);
+
+  // Creates a summary guaranteeing error <= epsilon * n. Requires
+  // 0 < epsilon <= 1.
+  static SpaceSaving ForEpsilon(double epsilon);
+
+  // Processes `weight` occurrences of `item` in O(log capacity).
+  void Update(uint64_t item, uint64_t weight = 1);
+
+  // Upper bound on the true frequency of `item`.
+  uint64_t UpperEstimate(uint64_t item) const;
+
+  // Lower bound on the true frequency of `item` (0 if not monitored).
+  uint64_t LowerEstimate(uint64_t item) const;
+
+  // The raw counter value (0 if not monitored). While streaming this is
+  // itself an upper bound on f(item).
+  uint64_t Count(uint64_t item) const;
+
+  // Smallest counter value, or 0 if fewer than capacity() items are
+  // monitored. While streaming, every unmonitored item has f <= MinCount().
+  uint64_t MinCount() const;
+
+  // Accumulated worst-case underestimation from merges; 0 while streaming.
+  uint64_t UnderSlack() const { return under_slack_; }
+
+  // Total stream weight summarized so far (across merges).
+  uint64_t n() const { return n_; }
+
+  int capacity() const { return capacity_; }
+
+  // Number of monitored counters; at most capacity().
+  size_t size() const { return entries_.size(); }
+
+  // Monitored counters sorted by descending count.
+  std::vector<Counter> Counters() const;
+
+  // Items whose frequency may reach `threshold` (no false negatives).
+  std::vector<Counter> FrequentItems(uint64_t threshold) const;
+
+  // The Agarwal et al. isomorphism: a Misra-Gries summary with
+  // capacity() - 1 counters describing the same stream (subtracts
+  // MinCount() from every counter when the summary is full).
+  MisraGries ToMisraGries() const;
+
+  // Merges `other` into this summary (Agarwal et al.). Requires identical
+  // capacities.
+  void Merge(const SpaceSaving& other);
+
+  // Merges `other` with the Cafaro et al. low-total-error algorithm.
+  void MergeCafaro(const SpaceSaving& other);
+
+  // Serializes the summary (little-endian, versioned).
+  void EncodeTo(ByteWriter& writer) const;
+
+  // Reconstructs a summary from EncodeTo bytes; std::nullopt on
+  // malformed input.
+  static std::optional<SpaceSaving> DecodeFrom(ByteReader& reader);
+
+ private:
+  struct Entry {
+    uint64_t item = 0;
+    uint64_t count = 0;
+    // Upper bound on how much `count` overestimates the item's frequency
+    // (the evicted minimum at assignment time).
+    uint64_t over = 0;
+  };
+
+  // Min-heap maintenance over entries_ (ordered by count).
+  void SiftUp(size_t index);
+  void SiftDown(size_t index);
+  // Strict total order (count, then item) so eviction under ties is
+  // deterministic and matches the closed-form merge's positional choice.
+  bool HeapLess(const Entry& a, const Entry& b) const {
+    if (a.count != b.count) return a.count < b.count;
+    return a.item < b.item;
+  }
+
+  // Counters minus the minimum (when full): the MG-domain view used by
+  // both merges. Returned in unspecified order, along with the subtracted
+  // minimum.
+  std::vector<Counter> MgDomainCounters(uint64_t* subtracted_min) const;
+
+  // Replaces the content with `counters` (already MG-domain combined),
+  // replayed as SpaceSaving updates in ascending order.
+  void RebuildByReplay(std::vector<Counter> counters, uint64_t total_n,
+                       uint64_t new_under_slack);
+
+  int capacity_;
+  uint64_t n_ = 0;
+  uint64_t under_slack_ = 0;
+  std::vector<Entry> entries_;                    // Min-heap by count.
+  std::unordered_map<uint64_t, size_t> index_of_;  // item -> heap position.
+};
+
+// The Cafaro et al. closed-form merge (their Algorithm 3) for SpaceSaving
+// summaries with k counters each. Inputs are the raw counters of the two
+// summaries (minimum subtraction is performed inside, as in the paper).
+// Returns the merged counters (at most k, ascending count order). Exposed
+// for tests against MergeCafaro and the paper's worked examples.
+std::vector<Counter> CafaroClosedFormMergeSpaceSaving(std::vector<Counter> s1,
+                                                      std::vector<Counter> s2,
+                                                      int k);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_FREQUENCY_SPACE_SAVING_H_

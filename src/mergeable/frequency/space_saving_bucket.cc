@@ -1,0 +1,178 @@
+#include "mergeable/frequency/space_saving_bucket.h"
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+SpaceSavingBucket::SpaceSavingBucket(int capacity) : capacity_(capacity) {
+  MERGEABLE_CHECK_MSG(capacity >= 2, "SpaceSavingBucket capacity must be >= 2");
+  entries_.reserve(static_cast<size_t>(capacity));
+  buckets_.reserve(static_cast<size_t>(capacity) + 1);
+  index_of_.reserve(static_cast<size_t>(capacity) * 2);
+}
+
+uint32_t SpaceSavingBucket::AllocateBucket() {
+  if (!free_buckets_.empty()) {
+    const uint32_t b = free_buckets_.back();
+    free_buckets_.pop_back();
+    buckets_[b] = Bucket{};
+    return b;
+  }
+  buckets_.push_back(Bucket{});
+  return static_cast<uint32_t>(buckets_.size() - 1);
+}
+
+void SpaceSavingBucket::DetachEntry(uint32_t e) {
+  Entry& entry = entries_[e];
+  const uint32_t b = entry.bucket;
+  Bucket& bucket = buckets_[b];
+  if (entry.prev != kNone) entries_[entry.prev].next = entry.next;
+  if (entry.next != kNone) entries_[entry.next].prev = entry.prev;
+  if (bucket.head == e) bucket.head = entry.next;
+  entry.prev = kNone;
+  entry.next = kNone;
+  if (bucket.head == kNone) {
+    // Bucket emptied: splice it out of the bucket list.
+    if (bucket.prev != kNone) buckets_[bucket.prev].next = bucket.next;
+    if (bucket.next != kNone) buckets_[bucket.next].prev = bucket.prev;
+    if (min_bucket_ == b) min_bucket_ = bucket.next;
+    free_buckets_.push_back(b);
+  }
+}
+
+void SpaceSavingBucket::AttachEntry(uint32_t e, uint32_t b) {
+  Entry& entry = entries_[e];
+  Bucket& bucket = buckets_[b];
+  entry.bucket = b;
+  entry.prev = kNone;
+  entry.next = bucket.head;
+  if (bucket.head != kNone) entries_[bucket.head].prev = e;
+  bucket.head = e;
+}
+
+uint32_t SpaceSavingBucket::BucketWithCountAfter(uint64_t count,
+                                                 uint32_t after) {
+  const uint32_t candidate =
+      after == kNone ? min_bucket_ : buckets_[after].next;
+  if (candidate != kNone && buckets_[candidate].count == count) {
+    return candidate;
+  }
+  // Create a new bucket between `after` and `candidate`.
+  const uint32_t b = AllocateBucket();
+  buckets_[b].count = count;
+  buckets_[b].prev = after;
+  buckets_[b].next = candidate;
+  if (after != kNone) {
+    buckets_[after].next = b;
+  } else {
+    min_bucket_ = b;
+  }
+  if (candidate != kNone) buckets_[candidate].prev = b;
+  return b;
+}
+
+void SpaceSavingBucket::IncrementEntry(uint32_t e) {
+  const uint32_t old_bucket = entries_[e].bucket;
+  const uint64_t new_count = buckets_[old_bucket].count + 1;
+  // Find/create the destination before detaching: detaching may free
+  // old_bucket, and the destination sits right after it either way.
+  const uint32_t head = buckets_[old_bucket].head;
+  const bool bucket_survives =
+      head != e || entries_[e].next != kNone;  // Other entries remain.
+  if (bucket_survives) {
+    const uint32_t dest = BucketWithCountAfter(new_count, old_bucket);
+    DetachEntry(e);
+    AttachEntry(e, dest);
+    return;
+  }
+  // Sole occupant: if the next bucket has exactly new_count, move the
+  // entry there and drop the old bucket; otherwise reuse the bucket in
+  // place by bumping its count (keeps ordering: next bucket's count is
+  // > old count and != new_count means > new_count).
+  const uint32_t next = buckets_[old_bucket].next;
+  if (next != kNone && buckets_[next].count == new_count) {
+    DetachEntry(e);  // Frees old_bucket.
+    AttachEntry(e, next);
+    return;
+  }
+  buckets_[old_bucket].count = new_count;
+}
+
+void SpaceSavingBucket::Update(uint64_t item) {
+  ++n_;
+  const auto it = index_of_.find(item);
+  if (it != index_of_.end()) {
+    IncrementEntry(it->second);
+    return;
+  }
+  if (entries_.size() < static_cast<size_t>(capacity_)) {
+    entries_.push_back(Entry{item, 0, kNone, kNone, kNone});
+    const auto e = static_cast<uint32_t>(entries_.size() - 1);
+    index_of_[item] = e;
+    const uint32_t b = BucketWithCountAfter(1, kNone);
+    // A count-1 bucket must be the minimum; BucketWithCountAfter(1,
+    // kNone) either found min_bucket_ with count 1 or created a new
+    // front bucket.
+    MERGEABLE_DCHECK(buckets_[b].count == 1);
+    AttachEntry(e, b);
+    return;
+  }
+  // Evict any entry from the minimum bucket.
+  const uint32_t e = buckets_[min_bucket_].head;
+  const uint64_t min = buckets_[min_bucket_].count;
+  index_of_.erase(entries_[e].item);
+  entries_[e].item = item;
+  entries_[e].over = min;
+  index_of_[item] = e;
+  IncrementEntry(e);
+}
+
+uint64_t SpaceSavingBucket::Count(uint64_t item) const {
+  const auto it = index_of_.find(item);
+  if (it == index_of_.end()) return 0;
+  return buckets_[entries_[it->second].bucket].count;
+}
+
+uint64_t SpaceSavingBucket::UpperEstimate(uint64_t item) const {
+  const auto it = index_of_.find(item);
+  if (it == index_of_.end()) return MinCount();
+  return buckets_[entries_[it->second].bucket].count;
+}
+
+uint64_t SpaceSavingBucket::LowerEstimate(uint64_t item) const {
+  const auto it = index_of_.find(item);
+  if (it == index_of_.end()) return 0;
+  const Entry& entry = entries_[it->second];
+  return buckets_[entry.bucket].count - entry.over;
+}
+
+uint64_t SpaceSavingBucket::MinCount() const {
+  if (index_of_.size() < static_cast<size_t>(capacity_)) return 0;
+  return buckets_[min_bucket_].count;
+}
+
+std::vector<Counter> SpaceSavingBucket::Counters() const {
+  std::vector<Counter> result;
+  result.reserve(index_of_.size());
+  for (const auto& [item, e] : index_of_) {
+    result.push_back(Counter{item, buckets_[entries_[e].bucket].count});
+  }
+  SortByCountDescending(result);
+  return result;
+}
+
+SpaceSaving SpaceSavingBucket::ToSpaceSaving() const {
+  SpaceSaving converted(capacity_);
+  std::vector<Counter> ascending = Counters();
+  SortByCountAscending(ascending);
+  // Feeding ascending counters cannot trigger evictions (there are at
+  // most capacity_ of them), so the converted summary holds exactly the
+  // same counters, and its n equals the sum of counts, which for a
+  // streaming SpaceSaving summary is exactly this summary's n.
+  for (const Counter& counter : ascending) {
+    converted.Update(counter.item, counter.count);
+  }
+  return converted;
+}
+
+}  // namespace mergeable

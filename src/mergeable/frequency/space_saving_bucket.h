@@ -1,0 +1,104 @@
+// SpaceSaving with the original "stream-summary" bucket structure
+// (Metwally et al.): O(1) worst-case per unit update, versus the
+// O(log k) heap path in space_saving.h. This is the update-path
+// ablation called out in DESIGN.md §5 and measured by bench_throughput.
+//
+// The structure keeps buckets of equal counter value in a doubly linked
+// list ordered by value; each bucket owns a doubly linked list of the
+// entries sharing that value. Incrementing a counter moves its entry to
+// the neighbouring bucket (created on demand); eviction pops any entry
+// from the minimum bucket. All links are indices into flat vectors —
+// no per-node allocation.
+//
+// Functionally this summary is interchangeable with the streaming part
+// of SpaceSaving: for the same unit-update stream the multiset of
+// counter values is identical (tests verify this). For merging, convert
+// with ToSpaceSaving().
+
+#ifndef MERGEABLE_FREQUENCY_SPACE_SAVING_BUCKET_H_
+#define MERGEABLE_FREQUENCY_SPACE_SAVING_BUCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mergeable/frequency/counter.h"
+#include "mergeable/frequency/space_saving.h"
+
+namespace mergeable {
+
+class SpaceSavingBucket {
+ public:
+  // Requires capacity >= 2 (matching SpaceSaving).
+  explicit SpaceSavingBucket(int capacity);
+
+  // Processes one occurrence of `item` in O(1) worst case.
+  void Update(uint64_t item);
+
+  // The raw counter value (0 if not monitored); an upper bound on f.
+  uint64_t Count(uint64_t item) const;
+
+  // Upper / lower bounds on f(item), as in SpaceSaving.
+  uint64_t UpperEstimate(uint64_t item) const;
+  uint64_t LowerEstimate(uint64_t item) const;
+
+  // Smallest counter value, or 0 if not full. O(1).
+  uint64_t MinCount() const;
+
+  uint64_t n() const { return n_; }
+  int capacity() const { return capacity_; }
+  size_t size() const { return index_of_.size(); }
+
+  // Monitored counters sorted by descending count.
+  std::vector<Counter> Counters() const;
+
+  // Converts to the heap-based summary (for merging).
+  SpaceSaving ToSpaceSaving() const;
+
+ private:
+  static constexpr uint32_t kNone = ~uint32_t{0};
+
+  struct Entry {
+    uint64_t item = 0;
+    uint64_t over = 0;       // Overestimation bound (evicted minimum).
+    uint32_t bucket = kNone;  // Owning bucket.
+    uint32_t prev = kNone;    // Neighbours within the bucket.
+    uint32_t next = kNone;
+  };
+
+  struct Bucket {
+    uint64_t count = 0;
+    uint32_t head = kNone;  // First entry in this bucket.
+    uint32_t prev = kNone;  // Bucket with the next smaller count.
+    uint32_t next = kNone;  // Bucket with the next larger count.
+  };
+
+  // Unlinks entry e from its bucket's entry list (does not clear
+  // e.bucket); removes the bucket entirely if it became empty.
+  void DetachEntry(uint32_t e);
+
+  // Links entry e into bucket b's entry list.
+  void AttachEntry(uint32_t e, uint32_t b);
+
+  // Returns a bucket with `count` positioned after bucket `after`
+  // (kNone = front), creating it if needed.
+  uint32_t BucketWithCountAfter(uint64_t count, uint32_t after);
+
+  // Moves entry e from its bucket to one with count+1.
+  void IncrementEntry(uint32_t e);
+
+  uint32_t AllocateBucket();
+
+  int capacity_;
+  uint64_t n_ = 0;
+  std::vector<Entry> entries_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_buckets_;
+  uint32_t min_bucket_ = kNone;  // Bucket with the smallest count.
+  std::unordered_map<uint64_t, uint32_t> index_of_;  // item -> entry.
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_FREQUENCY_SPACE_SAVING_BUCKET_H_

@@ -1,0 +1,44 @@
+// Umbrella header: the entire public API of the mergeable library.
+//
+// Prefer including the specific headers you use (they are all
+// self-contained); this header exists for quick experiments and for the
+// API surface test.
+
+#ifndef MERGEABLE_MERGEABLE_H_
+#define MERGEABLE_MERGEABLE_H_
+
+#include "mergeable/approx/eps_approximation.h"
+#include "mergeable/approx/eps_kernel.h"
+#include "mergeable/approx/eps_net.h"
+#include "mergeable/approx/halving.h"
+#include "mergeable/approx/point.h"
+#include "mergeable/approx/range_counting.h"
+#include "mergeable/core/concepts.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/frequency/counter.h"
+#include "mergeable/frequency/exact_counter.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/frequency/space_saving_bucket.h"
+#include "mergeable/frequency/topk.h"
+#include "mergeable/quantiles/exact_quantiles.h"
+#include "mergeable/quantiles/gk.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/quantiles/reservoir.h"
+#include "mergeable/sketch/ams.h"
+#include "mergeable/sketch/bloom.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/sketch/count_sketch.h"
+#include "mergeable/sketch/dyadic_count_min.h"
+#include "mergeable/sketch/kmv.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+#include "mergeable/stream/zipf.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/check.h"
+#include "mergeable/util/flat_counter_map.h"
+#include "mergeable/util/hash.h"
+#include "mergeable/util/random.h"
+
+#endif  // MERGEABLE_MERGEABLE_H_

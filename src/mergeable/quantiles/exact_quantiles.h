@@ -1,0 +1,70 @@
+// Exact quantiles baseline: stores every value.
+//
+// Used as ground truth by tests, benchmarks and examples. Rank semantics
+// throughout the quantile code: Rank(x) = |{ y in stream : y <= x }|.
+
+#ifndef MERGEABLE_QUANTILES_EXACT_QUANTILES_H_
+#define MERGEABLE_QUANTILES_EXACT_QUANTILES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+class ExactQuantiles {
+ public:
+  ExactQuantiles() = default;
+
+  void Update(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  // Merges by concatenation (exact, trivially mergeable).
+  void Merge(const ExactQuantiles& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+  }
+
+  uint64_t n() const { return values_.size(); }
+
+  // Number of stream values <= x.
+  uint64_t Rank(double x) const {
+    EnsureSorted();
+    return static_cast<uint64_t>(
+        std::upper_bound(values_.begin(), values_.end(), x) -
+        values_.begin());
+  }
+
+  // The value of rank ceil(phi * n) (phi in [0, 1]); requires n() > 0.
+  double Quantile(double phi) const {
+    MERGEABLE_CHECK_MSG(!values_.empty(), "Quantile of empty summary");
+    EnsureSorted();
+    auto rank = static_cast<int64_t>(
+        std::ceil(phi * static_cast<double>(values_.size())));
+    if (rank < 1) rank = 1;
+    if (rank > static_cast<int64_t>(values_.size())) {
+      rank = static_cast<int64_t>(values_.size());
+    }
+    return values_[static_cast<size_t>(rank - 1)];
+  }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_QUANTILES_EXACT_QUANTILES_H_

@@ -1,0 +1,160 @@
+#include "mergeable/quantiles/gk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+GkSummary::GkSummary(double epsilon) : epsilon_(epsilon) {
+  MERGEABLE_CHECK_MSG(epsilon > 0.0 && epsilon <= 0.5,
+                      "GK epsilon must be in (0, 0.5]");
+}
+
+void GkSummary::Update(double value) {
+  // Position of the first tuple with a strictly larger value.
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+
+  Tuple fresh;
+  fresh.value = value;
+  fresh.g = 1;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum: its rank is known exactly.
+    fresh.delta = 0;
+  } else {
+    fresh.delta = static_cast<uint64_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+  }
+  tuples_.insert(it, fresh);
+  ++n_;
+
+  if (++since_compress_ >=
+      static_cast<uint64_t>(std::ceil(1.0 / (2.0 * epsilon_)))) {
+    Compress();
+    since_compress_ = 0;
+  }
+}
+
+void GkSummary::AbsorbOneWay(const GkSummary& other) {
+  for (const Tuple& tuple : other.tuples_) {
+    for (uint64_t i = 0; i < tuple.g; ++i) Update(tuple.value);
+  }
+}
+
+void GkSummary::Compress() {
+  if (tuples_.size() < 3) return;
+  const auto threshold = static_cast<uint64_t>(
+      std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+  std::vector<Tuple> compressed;
+  compressed.reserve(tuples_.size());
+  compressed.push_back(tuples_.front());
+  // Scan left to right; greedily fold the previous kept tuple into the
+  // current one when the combined uncertainty stays below the threshold.
+  // The first and last tuples are always kept so min/max stay exact.
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple current = tuples_[i];
+    Tuple& previous = compressed.back();
+    const bool previous_is_first = compressed.size() == 1;
+    if (!previous_is_first &&
+        previous.g + current.g + current.delta <= threshold) {
+      current.g += previous.g;
+      compressed.back() = current;
+    } else {
+      compressed.push_back(current);
+    }
+  }
+  tuples_ = std::move(compressed);
+}
+
+uint64_t GkSummary::Rank(double x) const {
+  // For x between tuples i and i+1 the true rank lies in
+  // [rmin(i), rmin(i) + g(i+1) + delta(i+1) - 1]; the invariant
+  // g + delta <= 2 epsilon n makes the midpoint accurate to epsilon n.
+  uint64_t rmin = 0;
+  size_t next = 0;
+  while (next < tuples_.size() && tuples_[next].value <= x) {
+    rmin += tuples_[next].g;
+    ++next;
+  }
+  if (next == tuples_.size()) return rmin;  // x >= max: rank is exact (n).
+  const uint64_t window = tuples_[next].g + tuples_[next].delta - 1;
+  return rmin + window / 2;
+}
+
+double GkSummary::Quantile(double phi) const {
+  MERGEABLE_CHECK_MSG(n_ > 0, "Quantile of empty summary");
+  auto target = static_cast<uint64_t>(
+      std::ceil(phi * static_cast<double>(n_)));
+  if (target < 1) target = 1;
+  if (target > n_) target = n_;
+  const auto budget = static_cast<uint64_t>(
+      std::floor(epsilon_ * static_cast<double>(n_)));
+
+  uint64_t rmin = 0;
+  for (const Tuple& tuple : tuples_) {
+    rmin += tuple.g;
+    const uint64_t rmax = rmin + tuple.delta;
+    // First tuple whose rank window is provably within the budget.
+    if (rmax <= target + budget && target <= rmin + budget) {
+      return tuple.value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+namespace {
+constexpr uint32_t kGkMagic = 0x31304b47;  // "GK01"
+}  // namespace
+
+void GkSummary::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kGkMagic);
+  writer.PutDouble(epsilon_);
+  writer.PutU64(n_);
+  writer.PutU64(since_compress_);
+  writer.PutU32(static_cast<uint32_t>(tuples_.size()));
+  for (const Tuple& tuple : tuples_) {
+    writer.PutDouble(tuple.value);
+    writer.PutU64(tuple.g);
+    writer.PutU64(tuple.delta);
+  }
+}
+
+std::optional<GkSummary> GkSummary::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  double epsilon = 0.0;
+  uint64_t n = 0;
+  uint64_t since_compress = 0;
+  uint32_t count = 0;
+  if (!reader.GetU32(&magic) || magic != kGkMagic) return std::nullopt;
+  if (!reader.GetDouble(&epsilon) || !(epsilon > 0.0) || epsilon > 0.5) {
+    return std::nullopt;
+  }
+  if (!reader.GetU64(&n) || !reader.GetU64(&since_compress) ||
+      !reader.GetU32(&count) || count > n) {
+    return std::nullopt;
+  }
+  GkSummary summary(epsilon);
+  uint64_t total_g = 0;
+  double previous = 0.0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Tuple tuple;
+    if (!reader.GetDouble(&tuple.value) || !reader.GetU64(&tuple.g) ||
+        !reader.GetU64(&tuple.delta)) {
+      return std::nullopt;
+    }
+    if (tuple.g == 0) return std::nullopt;
+    if (i > 0 && tuple.value < previous) return std::nullopt;  // Unsorted.
+    previous = tuple.value;
+    total_g += tuple.g;
+    summary.tuples_.push_back(tuple);
+  }
+  if (total_g != n || !reader.Exhausted()) return std::nullopt;
+  summary.n_ = n;
+  summary.since_compress_ = since_compress;
+  return summary;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,132 @@
+#include "mergeable/sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<PolynomialHash> MakeRowHashes(int depth, uint64_t seed) {
+  std::vector<PolynomialHash> hashes;
+  hashes.reserve(static_cast<size_t>(depth));
+  for (int row = 0; row < depth; ++row) {
+    hashes.emplace_back(/*degree=*/2,
+                        MixHash(static_cast<uint64_t>(row), seed));
+  }
+  return hashes;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(int depth, int width, uint64_t seed,
+                               CountMinUpdate update)
+    : depth_(depth),
+      width_(width),
+      seed_(seed),
+      update_(update),
+      hashes_(MakeRowHashes(depth, seed)),
+      counters_(static_cast<size_t>(depth) * static_cast<size_t>(width), 0) {
+  MERGEABLE_CHECK_MSG(depth >= 1 && width >= 1,
+                      "CountMin needs depth >= 1 and width >= 1");
+}
+
+CountMinSketch CountMinSketch::ForEpsilonDelta(double epsilon, double delta,
+                                               uint64_t seed,
+                                               CountMinUpdate update) {
+  MERGEABLE_CHECK_MSG(epsilon > 0.0 && epsilon < 1.0,
+                      "epsilon must be in (0, 1)");
+  MERGEABLE_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const int width =
+      std::max(1, static_cast<int>(std::ceil(std::exp(1.0) / epsilon)));
+  const int depth =
+      std::max(1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+  return CountMinSketch(depth, width, seed, update);
+}
+
+void CountMinSketch::Update(uint64_t item, uint64_t weight) {
+  n_ += weight;
+  if (update_ == CountMinUpdate::kPlain) {
+    for (int row = 0; row < depth_; ++row) {
+      counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)] +=
+          weight;
+    }
+    return;
+  }
+  // Conservative update: raise every row's counter only as far as the new
+  // lower bound (current estimate + weight) requires.
+  const uint64_t target = Estimate(item) + weight;
+  for (int row = 0; row < depth_; ++row) {
+    uint64_t& counter =
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)];
+    counter = std::max(counter, target);
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t item) const {
+  uint64_t best = ~uint64_t{0};
+  for (int row = 0; row < depth_; ++row) {
+    best = std::min(
+        best,
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  MERGEABLE_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                          seed_ == other.seed_,
+                      "CountMin merge requires identical shape and seed");
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  n_ += other.n_;
+}
+
+namespace {
+constexpr uint32_t kCountMinMagic = 0x31304d43;  // "CM01"
+}  // namespace
+
+void CountMinSketch::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kCountMinMagic);
+  writer.PutU32(static_cast<uint32_t>(depth_));
+  writer.PutU32(static_cast<uint32_t>(width_));
+  writer.PutU32(update_ == CountMinUpdate::kPlain ? 0 : 1);
+  writer.PutU64(seed_);
+  writer.PutU64(n_);
+  for (uint64_t counter : counters_) writer.PutU64(counter);
+}
+
+std::optional<CountMinSketch> CountMinSketch::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  uint32_t depth = 0;
+  uint32_t width = 0;
+  uint32_t update = 0;
+  uint64_t seed = 0;
+  uint64_t n = 0;
+  if (!reader.GetU32(&magic) || magic != kCountMinMagic) return std::nullopt;
+  if (!reader.GetU32(&depth) || depth < 1 || depth > 64) return std::nullopt;
+  if (!reader.GetU32(&width) || width < 1 || width > (1u << 28)) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&update) || update > 1) return std::nullopt;
+  if (!reader.GetU64(&seed) || !reader.GetU64(&n)) return std::nullopt;
+  // ">=" not "==": Count-Min frames are embedded inside composite
+  // formats (dyadic Count-Min), so trailing bytes may belong to the
+  // container. Standalone callers check reader.Exhausted() themselves.
+  if (reader.remaining() <
+      static_cast<size_t>(depth) * width * sizeof(uint64_t)) {
+    return std::nullopt;
+  }
+  CountMinSketch sketch(
+      static_cast<int>(depth), static_cast<int>(width), seed,
+      update == 0 ? CountMinUpdate::kPlain : CountMinUpdate::kConservative);
+  for (uint64_t& counter : sketch.counters_) {
+    if (!reader.GetU64(&counter)) return std::nullopt;
+  }
+  sketch.n_ = n;
+  return sketch;
+}
+
+}  // namespace mergeable

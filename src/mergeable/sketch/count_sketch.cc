@@ -1,0 +1,104 @@
+#include "mergeable/sketch/count_sketch.h"
+
+#include <cstddef>
+
+#include <algorithm>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+CountSketch::CountSketch(int depth, int width, uint64_t seed)
+    : depth_(depth), width_(width), seed_(seed) {
+  MERGEABLE_CHECK_MSG(depth >= 1 && width >= 1,
+                      "CountSketch needs depth >= 1 and width >= 1");
+  bucket_hashes_.reserve(static_cast<size_t>(depth));
+  sign_hashes_.reserve(static_cast<size_t>(depth));
+  for (int row = 0; row < depth; ++row) {
+    bucket_hashes_.emplace_back(
+        /*degree=*/2, MixHash(static_cast<uint64_t>(row) * 2, seed));
+    sign_hashes_.emplace_back(
+        /*degree=*/4, MixHash(static_cast<uint64_t>(row) * 2 + 1, seed));
+  }
+  counters_.assign(static_cast<size_t>(depth) * static_cast<size_t>(width),
+                   0);
+}
+
+void CountSketch::Update(uint64_t item, int64_t weight) {
+  n_ += static_cast<uint64_t>(weight < 0 ? -weight : weight);
+  for (int row = 0; row < depth_; ++row) {
+    counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)] +=
+        Sign(row, item) * weight;
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t item) const {
+  std::vector<int64_t> estimates(static_cast<size_t>(depth_));
+  for (int row = 0; row < depth_; ++row) {
+    estimates[static_cast<size_t>(row)] =
+        Sign(row, item) *
+        counters_[static_cast<size_t>(row) * width_ + Bucket(row, item)];
+  }
+  const size_t mid = estimates.size() / 2;
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + static_cast<ptrdiff_t>(mid),
+                   estimates.end());
+  if (estimates.size() % 2 == 1) return estimates[mid];
+  const int64_t upper = estimates[mid];
+  const int64_t lower =
+      *std::max_element(estimates.begin(),
+                        estimates.begin() + static_cast<ptrdiff_t>(mid));
+  // Round toward zero to keep small frequencies unbiased-ish.
+  return (lower + upper) / 2;
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  MERGEABLE_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                          seed_ == other.seed_,
+                      "CountSketch merge requires identical shape and seed");
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  n_ += other.n_;
+}
+
+namespace {
+constexpr uint32_t kCountSketchMagic = 0x31305343;  // "CS01"
+}  // namespace
+
+void CountSketch::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kCountSketchMagic);
+  writer.PutU32(static_cast<uint32_t>(depth_));
+  writer.PutU32(static_cast<uint32_t>(width_));
+  writer.PutU64(seed_);
+  writer.PutU64(n_);
+  for (int64_t counter : counters_) writer.PutI64(counter);
+}
+
+std::optional<CountSketch> CountSketch::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  uint32_t depth = 0;
+  uint32_t width = 0;
+  uint64_t seed = 0;
+  uint64_t n = 0;
+  if (!reader.GetU32(&magic) || magic != kCountSketchMagic) {
+    return std::nullopt;
+  }
+  if (!reader.GetU32(&depth) || depth < 1 || depth > 64) return std::nullopt;
+  if (!reader.GetU32(&width) || width < 1 || width > (1u << 28)) {
+    return std::nullopt;
+  }
+  if (!reader.GetU64(&seed) || !reader.GetU64(&n)) return std::nullopt;
+  if (reader.remaining() !=
+      static_cast<size_t>(depth) * width * sizeof(int64_t)) {
+    return std::nullopt;
+  }
+  CountSketch sketch(static_cast<int>(depth), static_cast<int>(width), seed);
+  for (int64_t& counter : sketch.counters_) {
+    if (!reader.GetI64(&counter)) return std::nullopt;
+  }
+  sketch.n_ = n;
+  return sketch;
+}
+
+}  // namespace mergeable

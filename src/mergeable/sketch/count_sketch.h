@@ -1,0 +1,66 @@
+// Count-Sketch (Charikar, Chen, Farach-Colton).
+//
+// A linear sketch (trivially mergeable, result R6) giving *unbiased*
+// frequency estimates: each row hashes items to buckets (2-universal) and
+// flips a 4-wise independent sign; the estimate is the median across
+// rows of sign * bucket. With width w = O(1/epsilon^2) and depth d =
+// O(log 1/delta), |Estimate(x) - f(x)| <= epsilon * sqrt(F2) with
+// probability 1 - delta, where F2 is the second frequency moment —
+// stronger than Count-Min on skewed data.
+
+#ifndef MERGEABLE_SKETCH_COUNT_SKETCH_H_
+#define MERGEABLE_SKETCH_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+
+class CountSketch {
+ public:
+  // Requires depth >= 1 (odd recommended for a clean median), width >= 1.
+  CountSketch(int depth, int width, uint64_t seed);
+
+  void Update(uint64_t item, int64_t weight = 1);
+
+  // Unbiased estimate of f(item) (median of per-row estimators).
+  int64_t Estimate(uint64_t item) const;
+
+  // Component-wise addition. Requires identical shape and seed.
+  void Merge(const CountSketch& other);
+
+  // Serializes the sketch (hashes rebuilt from the seed); decoding
+  // returns std::nullopt on malformed input.
+  void EncodeTo(ByteWriter& writer) const;
+  static std::optional<CountSketch> DecodeFrom(ByteReader& reader);
+
+  uint64_t n() const { return n_; }
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+
+ private:
+  uint64_t Bucket(int row, uint64_t item) const {
+    return bucket_hashes_[static_cast<size_t>(row)].Bounded(
+        item, static_cast<uint64_t>(width_));
+  }
+  int Sign(int row, uint64_t item) const {
+    return sign_hashes_[static_cast<size_t>(row)].Sign(item);
+  }
+
+  int depth_;
+  int width_;
+  uint64_t seed_;
+  uint64_t n_ = 0;
+  std::vector<PolynomialHash> bucket_hashes_;  // 2-universal per row.
+  std::vector<PolynomialHash> sign_hashes_;    // 4-wise independent per row.
+  std::vector<int64_t> counters_;              // Row-major depth_ x width_.
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,87 @@
+#include "mergeable/sketch/kmv.h"
+
+#include <algorithm>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+
+KmvSketch::KmvSketch(int k, uint64_t seed) : k_(k), seed_(seed) {
+  MERGEABLE_CHECK_MSG(k >= 2, "KMV needs k >= 2");
+  heap_.reserve(static_cast<size_t>(k));
+}
+
+void KmvSketch::Add(uint64_t item) { Insert(MixHash(item, seed_)); }
+
+void KmvSketch::Insert(uint64_t hash) {
+  if (heap_.size() == static_cast<size_t>(k_) && hash >= heap_.front()) {
+    return;
+  }
+  // Reject duplicates (identical items hash identically).
+  if (std::find(heap_.begin(), heap_.end(), hash) != heap_.end()) return;
+  if (heap_.size() < static_cast<size_t>(k_)) {
+    heap_.push_back(hash);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = hash;
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (heap_.size() < static_cast<size_t>(k_)) {
+    // Fewer than k distinct items: the count is exact.
+    return static_cast<double>(heap_.size());
+  }
+  // kth_min / 2^64 estimates k / (distinct + 1).
+  const double fraction =
+      static_cast<double>(heap_.front()) / 18446744073709551616.0;
+  return (static_cast<double>(k_) - 1.0) / fraction;
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  MERGEABLE_CHECK_MSG(k_ == other.k_ && seed_ == other.seed_,
+                      "KMV merge requires identical k and seed");
+  for (uint64_t hash : other.heap_) Insert(hash);
+}
+
+namespace {
+constexpr uint32_t kKmvMagic = 0x3130564b;  // "KV01"
+}  // namespace
+
+void KmvSketch::EncodeTo(ByteWriter& writer) const {
+  writer.PutU32(kKmvMagic);
+  writer.PutU32(static_cast<uint32_t>(k_));
+  writer.PutU64(seed_);
+  writer.PutU32(static_cast<uint32_t>(heap_.size()));
+  for (uint64_t hash : heap_) writer.PutU64(hash);
+}
+
+std::optional<KmvSketch> KmvSketch::DecodeFrom(ByteReader& reader) {
+  uint32_t magic = 0;
+  uint32_t k = 0;
+  uint64_t seed = 0;
+  uint32_t size = 0;
+  if (!reader.GetU32(&magic) || magic != kKmvMagic) return std::nullopt;
+  if (!reader.GetU32(&k) || k < 2 || k > (1u << 28)) return std::nullopt;
+  if (!reader.GetU64(&seed) || !reader.GetU32(&size) || size > k) {
+    return std::nullopt;
+  }
+  KmvSketch sketch(static_cast<int>(k), seed);
+  for (uint32_t i = 0; i < size; ++i) {
+    uint64_t hash = 0;
+    if (!reader.GetU64(&hash)) return std::nullopt;
+    if (std::find(sketch.heap_.begin(), sketch.heap_.end(), hash) !=
+        sketch.heap_.end()) {
+      return std::nullopt;  // Duplicates violate the KMV invariant.
+    }
+    sketch.heap_.push_back(hash);
+  }
+  if (!reader.Exhausted()) return std::nullopt;
+  std::make_heap(sketch.heap_.begin(), sketch.heap_.end());
+  return sketch;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,127 @@
+#include "mergeable/stream/generators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mergeable/stream/zipf.h"
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// Maps a rank to a scattered-but-stable item id so that frequent items are
+// not numerically clustered.
+uint64_t RankToItem(uint64_t rank) { return MixHash(rank, /*seed=*/42); }
+
+std::vector<uint64_t> GenerateZipf(const StreamSpec& spec, Rng& rng) {
+  ZipfDistribution zipf(spec.universe, spec.alpha);
+  std::vector<uint64_t> stream(spec.n);
+  for (uint64_t& item : stream) item = RankToItem(zipf.Sample(rng));
+  return stream;
+}
+
+std::vector<uint64_t> GenerateUniform(const StreamSpec& spec, Rng& rng) {
+  std::vector<uint64_t> stream(spec.n);
+  for (uint64_t& item : stream) item = RankToItem(rng.UniformInt(spec.universe));
+  return stream;
+}
+
+std::vector<uint64_t> GenerateSequential(const StreamSpec& spec) {
+  std::vector<uint64_t> stream(spec.n);
+  for (uint64_t i = 0; i < spec.n; ++i) stream[i] = RankToItem(i);
+  return stream;
+}
+
+std::vector<uint64_t> GenerateAdversarialMg(const StreamSpec& spec, Rng& rng) {
+  MERGEABLE_CHECK_MSG(spec.heavy_items >= 1,
+                      "kAdversarialMg needs at least one heavy item");
+  const auto heavy = static_cast<uint64_t>(spec.heavy_items);
+  // Each heavy item gets 2n/(heavy+1) / 2 = n/(heavy+1) occurrences, i.e.
+  // roughly twice the (heavy+1)-majority threshold after the singleton
+  // padding dilutes it; the remainder of the stream is distinct singletons.
+  const uint64_t per_heavy = spec.n / (2 * (heavy + 1));
+  std::vector<uint64_t> stream;
+  stream.reserve(spec.n);
+  for (uint64_t h = 0; h < heavy; ++h) {
+    const uint64_t item = RankToItem(h);
+    for (uint64_t i = 0; i < per_heavy && stream.size() < spec.n; ++i) {
+      stream.push_back(item);
+    }
+  }
+  uint64_t next_singleton = heavy;
+  while (stream.size() < spec.n) stream.push_back(RankToItem(next_singleton++));
+  // Shuffle so shards see statistically similar mixes.
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.UniformInt(i)]);
+  }
+  return stream;
+}
+
+std::vector<uint64_t> GenerateMixed(const StreamSpec& spec, Rng& rng) {
+  ZipfDistribution zipf(spec.universe, spec.alpha);
+  std::vector<uint64_t> stream(spec.n);
+  uint64_t noise = 0;
+  for (uint64_t i = 0; i < spec.n; ++i) {
+    if ((i & 1) == 0) {
+      stream[i] = RankToItem(zipf.Sample(rng));
+    } else {
+      // Noise ids live in a disjoint range above the Zipf universe.
+      stream[i] = RankToItem(spec.universe + noise++);
+    }
+  }
+  return stream;
+}
+
+}  // namespace
+
+std::string ToString(const StreamSpec& spec) {
+  switch (spec.kind) {
+    case StreamKind::kZipf:
+      return "zipf(" + std::to_string(spec.alpha) + ")";
+    case StreamKind::kUniform:
+      return "uniform";
+    case StreamKind::kSequential:
+      return "sequential";
+    case StreamKind::kAdversarialMg:
+      return "adversarial-mg(" + std::to_string(spec.heavy_items) + ")";
+    case StreamKind::kMixed:
+      return "mixed(" + std::to_string(spec.alpha) + ")";
+  }
+  return "unknown";
+}
+
+std::vector<uint64_t> GenerateStream(const StreamSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  switch (spec.kind) {
+    case StreamKind::kZipf:
+      return GenerateZipf(spec, rng);
+    case StreamKind::kUniform:
+      return GenerateUniform(spec, rng);
+    case StreamKind::kSequential:
+      return GenerateSequential(spec);
+    case StreamKind::kAdversarialMg:
+      return GenerateAdversarialMg(spec, rng);
+    case StreamKind::kMixed:
+      return GenerateMixed(spec, rng);
+  }
+  MERGEABLE_CHECK_MSG(false, "unknown StreamKind");
+  return {};
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ExactCounts(
+    const std::vector<uint64_t>& stream) {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(stream.size() / 4 + 16);
+  for (uint64_t item : stream) ++counts[item];
+  std::vector<std::pair<uint64_t, uint64_t>> result(counts.begin(),
+                                                    counts.end());
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+}  // namespace mergeable

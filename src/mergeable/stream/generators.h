@@ -1,0 +1,65 @@
+// Synthetic workload generators.
+//
+// Every experiment in this repository runs over streams produced here, so
+// the generators are deterministic given (spec, seed). Items are opaque
+// uint64_t identifiers; Zipf ranks are shuffled through MixHash so that
+// heavy items are not numerically adjacent (which would make some bugs,
+// e.g. accidental ordering assumptions, invisible).
+
+#ifndef MERGEABLE_STREAM_GENERATORS_H_
+#define MERGEABLE_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mergeable {
+
+// Families of synthetic streams.
+enum class StreamKind {
+  // Zipf(alpha) over `universe` items; the classic skewed workload.
+  kZipf,
+  // Uniform over `universe` items; no frequent items at all.
+  kUniform,
+  // Items 0, 1, 2, ... (n distinct items, each once); worst case for
+  // anything that relies on repetition.
+  kSequential,
+  // `1/epsilon_like` heavy items each with ~2x the reporting threshold,
+  // padded with a sea of distinct singletons. Stresses the prune step of
+  // counter-based merges: every shard's summary is full of borderline
+  // counters.
+  kAdversarialMg,
+  // Half the stream is Zipf-distributed, the other half is sequential
+  // noise, interleaved; models a mixed workload.
+  kMixed,
+};
+
+// Declarative description of a stream; pass to GenerateStream.
+struct StreamSpec {
+  StreamKind kind = StreamKind::kZipf;
+  // Number of items to generate.
+  uint64_t n = 1 << 20;
+  // Universe size for kZipf / kUniform / kMixed.
+  uint64_t universe = 1 << 16;
+  // Skew for kZipf / kMixed.
+  double alpha = 1.1;
+  // Number of planted heavy items for kAdversarialMg.
+  int heavy_items = 16;
+};
+
+// Human-readable name for logs and benchmark tables, e.g. "zipf(1.1)".
+std::string ToString(const StreamSpec& spec);
+
+// Generates the stream described by `spec`, deterministically in
+// (spec, seed).
+std::vector<uint64_t> GenerateStream(const StreamSpec& spec, uint64_t seed);
+
+// Exact frequency table of `stream` as (item, count) pairs sorted by
+// decreasing count (ties broken by item). This is the ground truth used
+// by tests and benchmark error measurements.
+std::vector<std::pair<uint64_t, uint64_t>> ExactCounts(
+    const std::vector<uint64_t>& stream);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_STREAM_GENERATORS_H_

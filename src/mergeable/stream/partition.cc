@@ -1,0 +1,82 @@
+#include "mergeable/stream/partition.h"
+
+#include <cstddef>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+std::string ToString(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kContiguous:
+      return "contiguous";
+    case PartitionPolicy::kRoundRobin:
+      return "round-robin";
+    case PartitionPolicy::kRandom:
+      return "random";
+    case PartitionPolicy::kSkewed:
+      return "skewed";
+    case PartitionPolicy::kByValue:
+      return "by-value";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<uint64_t>> PartitionStream(
+    const std::vector<uint64_t>& stream, int shards, PartitionPolicy policy,
+    uint64_t seed) {
+  MERGEABLE_CHECK_MSG(shards >= 1, "PartitionStream needs shards >= 1");
+  const auto m = static_cast<size_t>(shards);
+  std::vector<std::vector<uint64_t>> parts(m);
+  const size_t n = stream.size();
+
+  switch (policy) {
+    case PartitionPolicy::kContiguous: {
+      const size_t base = n / m;
+      const size_t extra = n % m;
+      size_t offset = 0;
+      for (size_t i = 0; i < m; ++i) {
+        const size_t len = base + (i < extra ? 1 : 0);
+        parts[i].assign(stream.begin() + static_cast<ptrdiff_t>(offset),
+                        stream.begin() + static_cast<ptrdiff_t>(offset + len));
+        offset += len;
+      }
+      break;
+    }
+    case PartitionPolicy::kRoundRobin: {
+      for (size_t i = 0; i < m; ++i) parts[i].reserve(n / m + 1);
+      for (size_t j = 0; j < n; ++j) parts[j % m].push_back(stream[j]);
+      break;
+    }
+    case PartitionPolicy::kRandom: {
+      Rng rng(seed);
+      for (size_t i = 0; i < m; ++i) parts[i].reserve(n / m + 1);
+      for (uint64_t item : stream) parts[rng.UniformInt(m)].push_back(item);
+      break;
+    }
+    case PartitionPolicy::kSkewed: {
+      // Shard i gets a 2^-(i+1) share; the final shard absorbs the tail.
+      size_t offset = 0;
+      size_t remaining = n;
+      for (size_t i = 0; i < m; ++i) {
+        const size_t len = (i + 1 == m) ? remaining : remaining / 2;
+        parts[i].assign(stream.begin() + static_cast<ptrdiff_t>(offset),
+                        stream.begin() + static_cast<ptrdiff_t>(offset + len));
+        offset += len;
+        remaining -= len;
+      }
+      break;
+    }
+    case PartitionPolicy::kByValue: {
+      for (uint64_t item : stream) {
+        parts[MixHash(item, seed) % m].push_back(item);
+      }
+      break;
+    }
+  }
+  return parts;
+}
+
+}  // namespace mergeable

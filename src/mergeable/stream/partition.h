@@ -1,0 +1,47 @@
+// Splitting a stream across simulated shards.
+//
+// The merge experiments partition one logical dataset across m shards,
+// summarize each shard independently, and merge the summaries. How the
+// data is split changes how adversarial the merge is (contiguous splits
+// give shards very different local distributions), so the policy is an
+// explicit experimental knob.
+
+#ifndef MERGEABLE_STREAM_PARTITION_H_
+#define MERGEABLE_STREAM_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mergeable {
+
+// How items are assigned to shards.
+enum class PartitionPolicy {
+  // Shard i gets the i-th contiguous block (equal sizes up to remainder).
+  kContiguous,
+  // Item j goes to shard j mod m.
+  kRoundRobin,
+  // Each item goes to an independently uniform shard.
+  kRandom,
+  // Shard sizes decay geometrically (shard 0 gets ~half the data);
+  // contiguous assignment. Stresses merges of very uneven summaries.
+  kSkewed,
+  // Items are routed by hash of their value: each distinct item appears
+  // on exactly one shard. This is the *disjoint-support* regime where
+  // counter-based merges have the most counters to reconcile.
+  kByValue,
+};
+
+// Human-readable policy name for logs and benchmark tables.
+std::string ToString(PartitionPolicy policy);
+
+// Splits `stream` into `shards` parts according to `policy`. Every input
+// item appears in exactly one output shard (multiset union of the output
+// equals the input). `seed` is used by kRandom only. Requires shards >= 1.
+std::vector<std::vector<uint64_t>> PartitionStream(
+    const std::vector<uint64_t>& stream, int shards, PartitionPolicy policy,
+    uint64_t seed = 0);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_STREAM_PARTITION_H_

@@ -1,0 +1,72 @@
+#include "mergeable/stream/zipf.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  MERGEABLE_CHECK_MSG(n >= 1, "AliasTable needs at least one weight");
+  MERGEABLE_CHECK_MSG(n <= std::numeric_limits<uint32_t>::max(),
+                      "AliasTable universe too large");
+  double total = 0.0;
+  for (double w : weights) {
+    MERGEABLE_CHECK_MSG(w >= 0.0 && std::isfinite(w),
+                        "AliasTable weights must be finite and non-negative");
+    total += w;
+  }
+  MERGEABLE_CHECK_MSG(total > 0.0, "AliasTable needs a positive total weight");
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights sum to n; split into under- and over-full slots.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    const uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residual slots are full (probability 1) up to rounding.
+  for (uint32_t i : large) probability_[i] = 1.0;
+  for (uint32_t i : small) probability_[i] = 1.0;
+}
+
+uint64_t AliasTable::Sample(Rng& rng) const {
+  const uint64_t slot = rng.UniformInt(probability_.size());
+  return rng.UniformDouble() < probability_[slot] ? slot : alias_[slot];
+}
+
+namespace {
+
+std::vector<double> ZipfWeights(uint64_t universe_size, double alpha) {
+  MERGEABLE_CHECK_MSG(universe_size >= 1, "Zipf universe must be non-empty");
+  MERGEABLE_CHECK_MSG(alpha >= 0.0, "Zipf alpha must be non-negative");
+  std::vector<double> weights(universe_size);
+  for (uint64_t r = 0; r < universe_size; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -alpha);
+  }
+  return weights;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(uint64_t universe_size, double alpha)
+    : alpha_(alpha), table_(ZipfWeights(universe_size, alpha)) {}
+
+}  // namespace mergeable

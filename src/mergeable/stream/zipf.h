@@ -1,0 +1,56 @@
+// Zipf(alpha) sampling over a finite universe.
+//
+// The frequent-items literature (and the evaluation workloads in this
+// repository) use Zipf-distributed streams almost exclusively: item i
+// (0-based rank) has probability proportional to 1 / (i+1)^alpha.
+// Sampling uses Walker's alias method: O(universe) setup, O(1) per draw.
+
+#ifndef MERGEABLE_STREAM_ZIPF_H_
+#define MERGEABLE_STREAM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// A discrete distribution sampled in O(1) via the alias method. The
+// probabilities are fixed at construction.
+class AliasTable {
+ public:
+  // Builds the table from unnormalized non-negative weights. Requires at
+  // least one strictly positive weight.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  // Draws an index in [0, weights.size()).
+  uint64_t Sample(Rng& rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;  // Acceptance probability per slot.
+  std::vector<uint32_t> alias_;      // Fallback index per slot.
+};
+
+// Zipf(alpha) over ranks {0, ..., universe_size - 1}; rank r has weight
+// 1 / (r+1)^alpha. alpha == 0 degenerates to the uniform distribution.
+class ZipfDistribution {
+ public:
+  // Requires universe_size >= 1 and alpha >= 0.
+  ZipfDistribution(uint64_t universe_size, double alpha);
+
+  // Draws a rank in [0, universe_size).
+  uint64_t Sample(Rng& rng) const { return table_.Sample(rng); }
+
+  uint64_t universe_size() const { return table_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  AliasTable table_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_STREAM_ZIPF_H_

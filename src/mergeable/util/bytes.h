@@ -1,0 +1,71 @@
+// Little-endian byte encoding helpers for summary serialization.
+//
+// Summaries exist to be shipped between machines and merged, so every
+// major summary supports EncodeTo / DecodeFrom using these helpers.
+// ByteReader is bounds-checked and never aborts on malformed input:
+// reads report failure and decoders return std::nullopt, because bytes
+// from the network are data, not programmer error.
+
+#ifndef MERGEABLE_UTIL_BYTES_H_
+#define MERGEABLE_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mergeable {
+
+class ByteWriter {
+ public:
+  void PutU32(uint32_t value) { PutRaw(&value, sizeof(value)); }
+  void PutU64(uint64_t value) { PutRaw(&value, sizeof(value)); }
+  void PutI64(int64_t value) { PutRaw(&value, sizeof(value)); }
+  void PutDouble(double value) { PutRaw(&value, sizeof(value)); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    const auto* begin = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), begin, begin + size);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool GetU32(uint32_t* value) { return GetRaw(value, sizeof(*value)); }
+  bool GetU64(uint64_t* value) { return GetRaw(value, sizeof(*value)); }
+  bool GetI64(int64_t* value) { return GetRaw(value, sizeof(*value)); }
+  bool GetDouble(double* value) { return GetRaw(value, sizeof(*value)); }
+
+  // True when every byte has been consumed (decoders use this to reject
+  // trailing garbage).
+  bool Exhausted() const { return position_ == size_; }
+
+  size_t remaining() const { return size_ - position_; }
+
+ private:
+  bool GetRaw(void* out, size_t size) {
+    if (size_ - position_ < size) return false;
+    std::memcpy(out, data_ + position_, size);
+    position_ += size;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t position_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_BYTES_H_

@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking for the mergeable library.
+//
+// The library does not use exceptions (see DESIGN.md §6). Violated
+// preconditions are programming errors, so they abort the process with a
+// diagnostic. MERGEABLE_CHECK is always on; MERGEABLE_DCHECK compiles away
+// in NDEBUG builds and is reserved for hot paths.
+
+#ifndef MERGEABLE_UTIL_CHECK_H_
+#define MERGEABLE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mergeable::internal {
+
+// Prints a diagnostic for a failed check and aborts. Kept out-of-line-ish
+// (cold) so the fast path stays small.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "MERGEABLE_CHECK failed at %s:%d: (%s) %s\n", file,
+               line, condition, message == nullptr ? "" : message);
+  std::abort();
+}
+
+}  // namespace mergeable::internal
+
+// Aborts with a diagnostic unless `condition` holds. `message` is a string
+// literal giving context (may be omitted via the two-argument form below).
+#define MERGEABLE_CHECK_MSG(condition, message)                            \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::mergeable::internal::CheckFailed(__FILE__, __LINE__, #condition,   \
+                                         message);                         \
+    }                                                                      \
+  } while (false)
+
+#define MERGEABLE_CHECK(condition) MERGEABLE_CHECK_MSG(condition, nullptr)
+
+#ifdef NDEBUG
+#define MERGEABLE_DCHECK(condition) \
+  do {                              \
+  } while (false)
+#else
+#define MERGEABLE_DCHECK(condition) MERGEABLE_CHECK(condition)
+#endif
+
+#endif  // MERGEABLE_UTIL_CHECK_H_

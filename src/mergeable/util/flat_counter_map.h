@@ -1,0 +1,129 @@
+// A small open-addressing hash map from uint64_t items to uint64_t counts.
+//
+// The counter summaries (Misra-Gries, SpaceSaving) hold at most a few
+// thousand entries and hit the map on every stream update, so this map is
+// optimized for that shape: flat storage, linear probing, power-of-two
+// capacity, no per-node allocation. Keys are arbitrary 64-bit values
+// (occupancy is tracked separately, so there is no reserved sentinel key).
+// Deletion is intentionally absent: the summaries rebuild the map on prune,
+// which keeps probing sequences tombstone-free.
+
+#ifndef MERGEABLE_UTIL_FLAT_COUNTER_MAP_H_
+#define MERGEABLE_UTIL_FLAT_COUNTER_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+
+class FlatCounterMap {
+ public:
+  // Creates an empty map able to hold at least `expected_entries` without
+  // rehashing.
+  explicit FlatCounterMap(size_t expected_entries = 8) {
+    Rehash(SlotsFor(expected_entries));
+  }
+
+  FlatCounterMap(const FlatCounterMap&) = default;
+  FlatCounterMap& operator=(const FlatCounterMap&) = default;
+  FlatCounterMap(FlatCounterMap&&) = default;
+  FlatCounterMap& operator=(FlatCounterMap&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Adds `weight` to the count of `key`, inserting it at zero first if
+  // absent. Returns the new count.
+  uint64_t AddWeight(uint64_t key, uint64_t weight) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) Rehash(slots_.size() * 2);
+    size_t index = FindSlot(key);
+    if (!slots_[index].occupied) {
+      slots_[index] = Slot{key, 0, true};
+      ++size_;
+    }
+    slots_[index].count += weight;
+    return slots_[index].count;
+  }
+
+  // Returns the count of `key`, or 0 if absent.
+  uint64_t Count(uint64_t key) const {
+    const size_t index = FindSlot(key);
+    return slots_[index].occupied ? slots_[index].count : 0;
+  }
+
+  bool Contains(uint64_t key) const { return slots_[FindSlot(key)].occupied; }
+
+  // Invokes `fn(key, count)` for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.key, slot.count);
+    }
+  }
+
+  // Returns all entries as (key, count) pairs, in unspecified order.
+  std::vector<std::pair<uint64_t, uint64_t>> Entries() const {
+    std::vector<std::pair<uint64_t, uint64_t>> result;
+    result.reserve(size_);
+    ForEach([&result](uint64_t key, uint64_t count) {
+      result.emplace_back(key, count);
+    });
+    return result;
+  }
+
+  // Removes all entries, keeping the current capacity.
+  void Clear() {
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    bool occupied = false;
+  };
+
+  static size_t SlotsFor(size_t entries) {
+    size_t slots = 16;
+    // Keep load factor below 0.7.
+    while (slots * 7 < entries * 10) slots *= 2;
+    return slots;
+  }
+
+  // Returns the slot containing `key`, or the empty slot where it would be
+  // inserted.
+  size_t FindSlot(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (slots_[index].occupied && slots_[index].key != key) {
+      index = (index + 1) & mask;
+    }
+    return index;
+  }
+
+  void Rehash(size_t new_slots) {
+    MERGEABLE_DCHECK((new_slots & (new_slots - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.occupied) slots_[FindSlotIn(slot.key)] = slot;
+    }
+  }
+
+  // FindSlot against the freshly assigned table (used during rehash, when
+  // all slots are either empty or already moved).
+  size_t FindSlotIn(uint64_t key) const { return FindSlot(key); }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_FLAT_COUNTER_MAP_H_

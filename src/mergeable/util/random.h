@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for the mergeable library.
+//
+// Every randomized summary takes an explicit seed so that tests and
+// benchmarks are reproducible. The generator is xoshiro256++, seeded via
+// SplitMix64 so that small / correlated seeds still produce well-mixed
+// state. The class satisfies the C++ UniformRandomBitGenerator
+// requirements and can be used with <random> distributions, but the
+// library itself only relies on the methods defined here.
+
+#ifndef MERGEABLE_UTIL_RANDOM_H_
+#define MERGEABLE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+// xoshiro256++ generator (Blackman & Vigna). Period 2^256 - 1.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  // Returns the next 64 pseudo-random bits.
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Returns a uniform integer in [0, bound). `bound` must be positive.
+  // Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  // Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Returns an independent generator derived from this one. Streams split
+  // this way are disjoint with overwhelming probability.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+// SplitMix64 step: advances `state` and returns a mixed 64-bit value.
+// Exposed because hashing code reuses the same finalizer family.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_RANDOM_H_

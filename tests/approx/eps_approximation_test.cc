@@ -1,0 +1,129 @@
+#include "mergeable/approx/eps_approximation.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/approx/range_counting.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(EpsApproximationTest, SmallSetIsExact) {
+  EpsApproximation summary(128, 1);
+  std::vector<Point2> points;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Point2 p{rng.UniformDouble(), rng.UniformDouble()};
+    points.push_back(p);
+    summary.Update(p);
+  }
+  Rng query_rng(3);
+  for (const Rect& rect : GenerateRandomRects(50, query_rng)) {
+    ASSERT_EQ(summary.RangeCount(rect), ExactRangeCount(points, rect));
+  }
+}
+
+TEST(EpsApproximationTest, WeightIsConserved) {
+  EpsApproximation summary(64, 4);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    summary.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_EQ(summary.n(), 50000u);
+  const Rect everything{0.0, 1.0, 0.0, 1.0};
+  EXPECT_EQ(summary.RangeCount(everything), 50000u);
+  uint64_t weighted_total = 0;
+  for (const auto& [point, weight] : summary.WeightedPoints()) {
+    weighted_total += weight;
+  }
+  EXPECT_EQ(weighted_total, 50000u);
+}
+
+class EpsApproxPolicyTest : public ::testing::TestWithParam<HalvingPolicy> {};
+
+TEST_P(EpsApproxPolicyTest, StreamingRangeErrorSmall) {
+  Rng rng(6);
+  const auto points = GeneratePoints(60000, /*clusters=*/0, rng);
+  EpsApproximation summary(512, 7, GetParam());
+  for (const Point2& p : points) summary.Update(p);
+
+  Rng query_rng(8);
+  const auto queries = GenerateRandomRects(100, query_rng);
+  EXPECT_LT(MaxRelativeRangeError(summary, points, queries), 0.06);
+}
+
+TEST_P(EpsApproxPolicyTest, MergedRangeErrorSmall) {
+  Rng rng(9);
+  const auto points = GeneratePoints(60000, /*clusters=*/4, rng);
+
+  constexpr int kShards = 16;
+  std::vector<EpsApproximation> parts;
+  for (int s = 0; s < kShards; ++s) {
+    parts.emplace_back(512, 100 + static_cast<uint64_t>(s), GetParam());
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Contiguous split: shards see different clusters.
+    parts[i * kShards / points.size()].Update(points[i]);
+  }
+  EpsApproximation merged =
+      MergeAll(std::move(parts), MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n(), points.size());
+
+  Rng query_rng(10);
+  const auto queries = GenerateRandomRects(100, query_rng);
+  EXPECT_LT(MaxRelativeRangeError(merged, points, queries), 0.07);
+}
+
+TEST_P(EpsApproxPolicyTest, SpaceStaysLogarithmic) {
+  Rng rng(11);
+  EpsApproximation summary(256, 12, GetParam());
+  for (int i = 0; i < 100000; ++i) {
+    summary.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_LT(summary.StoredPoints(), 256u * 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EpsApproxPolicyTest,
+                         ::testing::Values(HalvingPolicy::kRandomPairs,
+                                           HalvingPolicy::kSortedX,
+                                           HalvingPolicy::kMorton),
+                         [](const ::testing::TestParamInfo<HalvingPolicy>&
+                                info) {
+                           switch (info.param) {
+                             case HalvingPolicy::kRandomPairs:
+                               return "RandomPairs";
+                             case HalvingPolicy::kSortedX:
+                               return "SortedX";
+                             case HalvingPolicy::kMorton:
+                               return "Morton";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(EpsApproximationTest, ExactRangeCountBasics) {
+  const std::vector<Point2> points = {
+      {0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}, {0.5, 0.1}};
+  EXPECT_EQ(ExactRangeCount(points, Rect{0.0, 1.0, 0.0, 1.0}), 4u);
+  EXPECT_EQ(ExactRangeCount(points, Rect{0.0, 0.5, 0.0, 0.5}), 3u);
+  EXPECT_EQ(ExactRangeCount(points, Rect{0.6, 1.0, 0.6, 1.0}), 1u);
+  EXPECT_EQ(ExactRangeCount(points, Rect{0.2, 0.3, 0.2, 0.3}), 0u);
+}
+
+TEST(EpsApproximationDeathTest, InvalidParameters) {
+  EXPECT_DEATH(EpsApproximation(1, 1), "buffer_size");
+}
+
+TEST(EpsApproximationDeathTest, MergeRequiresCompatibleConfig) {
+  EpsApproximation a(64, 1, HalvingPolicy::kMorton);
+  EpsApproximation b(128, 2, HalvingPolicy::kMorton);
+  EXPECT_DEATH(a.Merge(b), "buffer sizes");
+  EpsApproximation c(64, 3, HalvingPolicy::kSortedX);
+  EXPECT_DEATH(a.Merge(c), "policies");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,139 @@
+#include "mergeable/approx/eps_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+double ExactExtent(const std::vector<Point2>& points, double angle) {
+  const double ux = std::cos(angle);
+  const double uy = std::sin(angle);
+  double max_dot = -1e300;
+  double min_dot = 1e300;
+  for (const Point2& p : points) {
+    const double dot = p.x * ux + p.y * uy;
+    max_dot = std::max(max_dot, dot);
+    min_dot = std::min(min_dot, dot);
+  }
+  return max_dot - min_dot;
+}
+
+std::vector<Point2> DiskPoints(int count, uint64_t seed) {
+  // A fat point set: uniform over the unit disk.
+  Rng rng(seed);
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(count));
+  while (points.size() < static_cast<size_t>(count)) {
+    const double x = 2.0 * rng.UniformDouble() - 1.0;
+    const double y = 2.0 * rng.UniformDouble() - 1.0;
+    if (x * x + y * y <= 1.0) points.push_back(Point2{x, y});
+  }
+  return points;
+}
+
+TEST(EpsKernelTest, NeverOverestimatesWidth) {
+  const auto points = DiskPoints(5000, 1);
+  EpsKernel kernel(32);
+  for (const Point2& p : points) kernel.Update(p);
+  for (double angle = 0.0; angle < 6.28; angle += 0.1) {
+    ASSERT_LE(kernel.DirectionalExtent(angle),
+              ExactExtent(points, angle) + 1e-12);
+  }
+}
+
+TEST(EpsKernelTest, FatSetWidthWithinEpsilon) {
+  constexpr double kEpsilon = 0.05;
+  const auto points = DiskPoints(20000, 2);
+  EpsKernel kernel = EpsKernel::ForEpsilon(kEpsilon);
+  for (const Point2& p : points) kernel.Update(p);
+  for (double angle = 0.0; angle < 6.28; angle += 0.05) {
+    const double exact = ExactExtent(points, angle);
+    const double approx = kernel.DirectionalExtent(angle);
+    ASSERT_GE(approx, (1.0 - kEpsilon) * exact) << "angle " << angle;
+  }
+}
+
+TEST(EpsKernelTest, SizeIsDirectionBound) {
+  const auto points = DiskPoints(50000, 3);
+  EpsKernel kernel(64);
+  for (const Point2& p : points) kernel.Update(p);
+  EXPECT_LE(kernel.CorePoints().size(), 64u);
+  EXPECT_EQ(kernel.n(), 50000u);
+}
+
+TEST(EpsKernelTest, MergeIsExactlySinglePass) {
+  // Per-direction maxima are losslessly mergeable: merged kernel must
+  // match the single-pass kernel exactly, for any split and tree.
+  const auto points = DiskPoints(10000, 4);
+
+  EpsKernel single(48);
+  for (const Point2& p : points) single.Update(p);
+
+  for (MergeTopology topology : kAllTopologies) {
+    constexpr int kShards = 7;
+    std::vector<EpsKernel> parts(kShards, EpsKernel(48));
+    for (size_t i = 0; i < points.size(); ++i) {
+      parts[i % kShards].Update(points[i]);
+    }
+    Rng rng(5);
+    const EpsKernel merged = MergeAll(std::move(parts), topology, &rng);
+    ASSERT_EQ(merged.n(), single.n());
+    for (double angle = 0.0; angle < 6.28; angle += 0.2) {
+      ASSERT_DOUBLE_EQ(merged.DirectionalExtent(angle),
+                       single.DirectionalExtent(angle))
+          << ToString(topology) << " angle " << angle;
+    }
+  }
+}
+
+TEST(EpsKernelTest, SinglePointHasZeroExtent) {
+  EpsKernel kernel(16);
+  kernel.Update(Point2{0.3, 0.7});
+  for (double angle : {0.0, 1.0, 2.5}) {
+    EXPECT_DOUBLE_EQ(kernel.DirectionalExtent(angle), 0.0);
+  }
+  EXPECT_EQ(kernel.CorePoints().size(), 1u);
+}
+
+TEST(EpsKernelTest, AxisAlignedSegment) {
+  EpsKernel kernel(64);
+  for (int i = 0; i <= 100; ++i) {
+    kernel.Update(Point2{i / 100.0, 0.0});
+  }
+  EXPECT_NEAR(kernel.DirectionalExtent(0.0), 1.0, 1e-9);
+  // Width perpendicular to the segment is 0.
+  EXPECT_NEAR(kernel.DirectionalExtent(std::acos(-1.0) / 2), 0.0, 1e-9);
+}
+
+TEST(EpsKernelTest, ForEpsilonDirectionsGrowAsEpsilonShrinks) {
+  EXPECT_LT(EpsKernel::ForEpsilon(0.1).directions(),
+            EpsKernel::ForEpsilon(0.01).directions());
+}
+
+TEST(EpsKernelDeathTest, InvalidParameters) {
+  EXPECT_DEATH(EpsKernel(3), "directions");
+  EXPECT_DEATH(EpsKernel::ForEpsilon(0.0), "epsilon");
+  EXPECT_DEATH(EpsKernel::ForEpsilon(1.0), "epsilon");
+}
+
+TEST(EpsKernelDeathTest, MergeRequiresSameDirections) {
+  EpsKernel a(8);
+  EpsKernel b(16);
+  EXPECT_DEATH(a.Merge(b), "direction counts");
+}
+
+TEST(EpsKernelDeathTest, ExtentOfEmptyAborts) {
+  EpsKernel kernel(8);
+  EXPECT_DEATH(kernel.DirectionalExtent(0.0), "empty");
+}
+
+}  // namespace
+}  // namespace mergeable

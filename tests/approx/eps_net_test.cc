@@ -1,0 +1,123 @@
+#include "mergeable/approx/eps_net.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/approx/range_counting.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(EpsNetTest, KeepsEverythingBelowCapacity) {
+  EpsNet net(16, 1);
+  for (int i = 0; i < 10; ++i) {
+    net.Update(Point2{i / 10.0, i / 10.0});
+  }
+  EXPECT_EQ(net.n(), 10u);
+  EXPECT_EQ(net.size(), 10u);
+}
+
+TEST(EpsNetTest, CapsAtSampleSize) {
+  EpsNet net(32, 2);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    net.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_EQ(net.n(), 5000u);
+  EXPECT_EQ(net.size(), 32u);
+}
+
+TEST(EpsNetTest, HitsEveryHeavyRange) {
+  // The defining ε-net property: every rectangle holding >= eps * n
+  // points contains a net point. Checked over many random rectangles.
+  constexpr double kEpsilon = 0.05;
+  Rng rng(4);
+  const auto points = GeneratePoints(40000, /*clusters=*/3, rng);
+  EpsNet net = EpsNet::ForEpsilon(kEpsilon, 0.01, 5);
+  for (const Point2& p : points) net.Update(p);
+
+  Rng query_rng(6);
+  const auto queries = GenerateRandomRects(300, query_rng);
+  int heavy = 0;
+  int missed = 0;
+  for (const Rect& rect : queries) {
+    const uint64_t exact = ExactRangeCount(points, rect);
+    if (exact < static_cast<uint64_t>(kEpsilon * 40000)) continue;
+    ++heavy;
+    if (!net.Hits(rect)) ++missed;
+  }
+  EXPECT_GT(heavy, 50);  // The workload produces plenty of heavy ranges.
+  EXPECT_EQ(missed, 0);
+}
+
+TEST(EpsNetTest, HitsHeavyRangesAfterMerging) {
+  constexpr double kEpsilon = 0.05;
+  Rng rng(7);
+  const auto points = GeneratePoints(40000, /*clusters=*/4, rng);
+
+  constexpr int kShards = 8;
+  std::vector<EpsNet> parts;
+  for (int s = 0; s < kShards; ++s) {
+    parts.push_back(EpsNet::ForEpsilon(kEpsilon, 0.01,
+                                       100 + static_cast<uint64_t>(s)));
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    parts[i * kShards / points.size()].Update(points[i]);
+  }
+  const EpsNet merged =
+      MergeAll(std::move(parts), MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n(), points.size());
+
+  Rng query_rng(8);
+  int missed = 0;
+  for (const Rect& rect : GenerateRandomRects(300, query_rng)) {
+    const uint64_t exact = ExactRangeCount(points, rect);
+    if (exact < static_cast<uint64_t>(kEpsilon * 40000)) continue;
+    if (!merged.Hits(rect)) ++missed;
+  }
+  EXPECT_EQ(missed, 0);
+}
+
+TEST(EpsNetTest, MergeTracksPopulation) {
+  EpsNet a(8, 9);
+  EpsNet b(8, 10);
+  for (int i = 0; i < 100; ++i) a.Update(Point2{0.1, 0.1});
+  for (int i = 0; i < 300; ++i) b.Update(Point2{0.9, 0.9});
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 400u);
+  EXPECT_EQ(a.size(), 8u);
+  // Sample composition should lean toward the larger population.
+  EXPECT_GE(a.EstimateCount(Rect{0.5, 1.0, 0.5, 1.0}), 150u);
+}
+
+TEST(EpsNetTest, EmptyNetHitsNothing) {
+  EpsNet net(8, 11);
+  EXPECT_FALSE(net.Hits(Rect{0.0, 1.0, 0.0, 1.0}));
+  EXPECT_EQ(net.EstimateCount(Rect{0.0, 1.0, 0.0, 1.0}), 0u);
+}
+
+TEST(EpsNetTest, ForEpsilonSizing) {
+  // 8/eps * ln(2/delta): smaller eps or delta = bigger net.
+  EXPECT_LT(EpsNet::ForEpsilon(0.1, 0.1, 1).size() + 0u,
+            EpsNet::ForEpsilon(0.01, 0.1, 1).size() + 160u);
+  EXPECT_GT(EpsNet::ForEpsilon(0.01, 0.01, 1).points().capacity(), 0u);
+}
+
+TEST(EpsNetDeathTest, InvalidParameters) {
+  EXPECT_DEATH(EpsNet(0, 1), "sample_size");
+  EXPECT_DEATH(EpsNet::ForEpsilon(0.0, 0.1, 1), "epsilon");
+  EXPECT_DEATH(EpsNet::ForEpsilon(0.1, 1.5, 1), "delta");
+}
+
+TEST(EpsNetDeathTest, MergeRequiresEqualSampleSize) {
+  EpsNet a(4, 1);
+  EpsNet b(8, 2);
+  EXPECT_DEATH(a.Merge(b), "different sample sizes");
+}
+
+}  // namespace
+}  // namespace mergeable

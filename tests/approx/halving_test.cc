@@ -1,0 +1,130 @@
+#include "mergeable/approx/halving.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/approx/point.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<Point2> RandomPoints(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> points;
+  points.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    points.push_back(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  return points;
+}
+
+TEST(MortonCodeTest, OrderedAlongDiagonal) {
+  EXPECT_LT(MortonCode(Point2{0.0, 0.0}), MortonCode(Point2{1.0, 1.0}));
+  EXPECT_EQ(MortonCode(Point2{0.0, 0.0}), 0u);
+}
+
+TEST(MortonCodeTest, ClampsOutOfBox) {
+  EXPECT_EQ(MortonCode(Point2{-5.0, -5.0}), MortonCode(Point2{0.0, 0.0}));
+  EXPECT_EQ(MortonCode(Point2{5.0, 5.0}), MortonCode(Point2{1.0, 1.0}));
+}
+
+TEST(MortonCodeTest, InterleavesAxes) {
+  // A step in x changes bit 0 region; a step in y changes bit 1 region.
+  const uint64_t origin = MortonCode(Point2{0.0, 0.0});
+  const uint64_t dx = MortonCode(Point2{1.0 / 65535.0, 0.0});
+  const uint64_t dy = MortonCode(Point2{0.0, 1.0 / 65535.0});
+  EXPECT_EQ(dx - origin, 1u);
+  EXPECT_EQ(dy - origin, 2u);
+}
+
+class HalvingPolicyTest : public ::testing::TestWithParam<HalvingPolicy> {};
+
+TEST_P(HalvingPolicyTest, EvenBufferHalvesExactly) {
+  auto points = RandomPoints(128, 1);
+  Rng rng(2);
+  HalveBuffer(points, GetParam(), rng, nullptr);
+  EXPECT_EQ(points.size(), 64u);
+}
+
+TEST_P(HalvingPolicyTest, OddBufferLeavesOneLeftover) {
+  auto points = RandomPoints(129, 3);
+  Rng rng(4);
+  std::vector<Point2> leftover;
+  HalveBuffer(points, GetParam(), rng, &leftover);
+  EXPECT_EQ(points.size(), 64u);
+  EXPECT_EQ(leftover.size(), 1u);
+}
+
+TEST_P(HalvingPolicyTest, SurvivorsComeFromInput) {
+  const auto original = RandomPoints(64, 5);
+  auto points = original;
+  Rng rng(6);
+  HalveBuffer(points, GetParam(), rng, nullptr);
+  for (const Point2& p : points) {
+    EXPECT_NE(std::find(original.begin(), original.end(), p),
+              original.end());
+  }
+}
+
+TEST_P(HalvingPolicyTest, TinyBuffers) {
+  Rng rng(7);
+  std::vector<Point2> empty;
+  HalveBuffer(empty, GetParam(), rng, nullptr);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<Point2> one = {Point2{0.5, 0.5}};
+  std::vector<Point2> leftover;
+  HalveBuffer(one, GetParam(), rng, &leftover);
+  EXPECT_TRUE(one.empty());
+  EXPECT_EQ(leftover.size(), 1u);
+
+  std::vector<Point2> two = {Point2{0.1, 0.1}, Point2{0.9, 0.9}};
+  HalveBuffer(two, GetParam(), rng, nullptr);
+  EXPECT_EQ(two.size(), 1u);
+}
+
+TEST_P(HalvingPolicyTest, ToStringIsNonEmpty) {
+  EXPECT_FALSE(ToString(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, HalvingPolicyTest,
+                         ::testing::Values(HalvingPolicy::kRandomPairs,
+                                           HalvingPolicy::kSortedX,
+                                           HalvingPolicy::kMorton),
+                         [](const ::testing::TestParamInfo<HalvingPolicy>&
+                                info) {
+                           switch (info.param) {
+                             case HalvingPolicy::kRandomPairs:
+                               return "RandomPairs";
+                             case HalvingPolicy::kSortedX:
+                               return "SortedX";
+                             case HalvingPolicy::kMorton:
+                               return "Morton";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(HalvingTest, SortedXHasUnitPrefixDiscrepancy) {
+  // For 1-D prefix ranges (x <= t), pairing x-neighbours means at most
+  // one pair straddles any threshold: |2 * survivors_below - below| <= 1.
+  auto points = RandomPoints(256, 8);
+  auto original = points;
+  Rng rng(9);
+  HalveBuffer(points, HalvingPolicy::kSortedX, rng, nullptr);
+  for (double t : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const auto below = [t](const std::vector<Point2>& ps) {
+      return std::count_if(ps.begin(), ps.end(),
+                           [t](const Point2& p) { return p.x <= t; });
+    };
+    const auto full = static_cast<double>(below(original));
+    const auto half = static_cast<double>(below(points));
+    EXPECT_LE(std::abs(2.0 * half - full), 1.0) << "threshold " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mergeable

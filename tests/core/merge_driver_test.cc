@@ -1,0 +1,162 @@
+#include "mergeable/core/merge_driver.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/concepts.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+// A trivially mergeable exact summary used to verify driver mechanics:
+// any topology must produce identical results.
+struct ExactSum {
+  std::map<uint64_t, uint64_t> counts;
+  uint64_t n = 0;
+
+  void Update(uint64_t item) {
+    ++counts[item];
+    ++n;
+  }
+  void Merge(const ExactSum& other) {
+    for (const auto& [item, count] : other.counts) counts[item] += count;
+    n += other.n;
+  }
+};
+
+static_assert(Mergeable<ExactSum>);
+static_assert(StreamSummary<ExactSum, uint64_t>);
+static_assert(StreamSummary<MisraGries, uint64_t>);
+
+std::vector<ExactSum> MakeParts(int count) {
+  std::vector<ExactSum> parts;
+  for (int i = 0; i < count; ++i) {
+    ExactSum part;
+    for (int j = 0; j <= i; ++j) part.Update(static_cast<uint64_t>(j));
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+class MergeTopologyTest : public ::testing::TestWithParam<MergeTopology> {};
+
+TEST_P(MergeTopologyTest, AllTopologiesProduceTheSameExactResult) {
+  Rng rng(1);
+  const ExactSum merged = MergeAll(MakeParts(13), GetParam(), &rng);
+  EXPECT_EQ(merged.n, 13u * 14u / 2u);
+  // Item j appears in parts j..12, so 13 - j times.
+  for (uint64_t j = 0; j < 13; ++j) {
+    ASSERT_EQ(merged.counts.at(j), 13 - j) << "item " << j;
+  }
+}
+
+TEST_P(MergeTopologyTest, SinglePartIsIdentity) {
+  Rng rng(2);
+  const ExactSum merged = MergeAll(MakeParts(1), GetParam(), &rng);
+  EXPECT_EQ(merged.n, 1u);
+}
+
+TEST_P(MergeTopologyTest, ToStringIsNonEmpty) {
+  EXPECT_FALSE(ToString(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MergeTopologyTest,
+    ::testing::ValuesIn(kAllTopologies),
+    [](const ::testing::TestParamInfo<MergeTopology>& info) {
+      return ToString(info.param);
+    });
+
+TEST(MergeDriverTest, MergeAllWithCustomFunction) {
+  auto parts = MakeParts(5);
+  int calls = 0;
+  const ExactSum merged = MergeAllWith(
+      std::move(parts), MergeTopology::kLeftDeepChain,
+      [&calls](ExactSum& into, const ExactSum& from) {
+        into.Merge(from);
+        ++calls;
+      });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(merged.n, 15u);
+}
+
+TEST(MergeDriverTest, BalancedTreeHandlesOddCounts) {
+  Rng rng(3);
+  for (int count : {2, 3, 5, 9, 17}) {
+    const ExactSum merged =
+        MergeAll(MakeParts(count), MergeTopology::kBalancedTree, &rng);
+    uint64_t expected = 0;
+    for (int i = 1; i <= count; ++i) expected += static_cast<uint64_t>(i);
+    EXPECT_EQ(merged.n, expected) << "count " << count;
+  }
+}
+
+TEST(MergeDriverTest, RandomTreeIsSeedDeterministic) {
+  // With an exact summary any tree gives the same result; determinism is
+  // observable through a counting merge function.
+  const auto order_of = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> merged_ns;
+    MergeAllWith(
+        MakeParts(8), MergeTopology::kRandomTree,
+        [&merged_ns](ExactSum& into, const ExactSum& from) {
+          into.Merge(from);
+          merged_ns.push_back(into.n);
+        },
+        &rng);
+    return merged_ns;
+  };
+  EXPECT_EQ(order_of(7), order_of(7));
+}
+
+TEST(MergeDriverTest, SummarizeShardsBuildsOneSummaryPerShard) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kUniform;
+  spec.n = 1000;
+  spec.universe = 64;
+  const auto stream = GenerateStream(spec, 4);
+  const auto shards = PartitionStream(stream, 4, PartitionPolicy::kRoundRobin);
+
+  const auto summaries =
+      SummarizeShards(shards, [] { return ExactSum{}; });
+  ASSERT_EQ(summaries.size(), 4u);
+  uint64_t total = 0;
+  for (const ExactSum& summary : summaries) total += summary.n;
+  EXPECT_EQ(total, stream.size());
+}
+
+TEST(MergeDriverTest, SummarizeShardsWorksWithRealSummaries) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 5000;
+  spec.universe = 256;
+  const auto stream = GenerateStream(spec, 5);
+  const auto shards =
+      PartitionStream(stream, 8, PartitionPolicy::kContiguous);
+
+  auto summaries = SummarizeShards(shards, [] { return MisraGries(16); });
+  const MisraGries merged =
+      MergeAll(std::move(summaries), MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n(), stream.size());
+  EXPECT_LE(merged.size(), 16u);
+}
+
+TEST(MergeDriverDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(MergeAll(std::vector<ExactSum>{},
+                        MergeTopology::kLeftDeepChain),
+               "at least one summary");
+}
+
+TEST(MergeDriverDeathTest, RandomTreeRequiresRng) {
+  EXPECT_DEATH(MergeAll(MakeParts(3), MergeTopology::kRandomTree),
+               "needs an Rng");
+}
+
+}  // namespace
+}  // namespace mergeable

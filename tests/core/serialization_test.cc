@@ -1,0 +1,430 @@
+// Round-trip and corruption tests for the summary wire formats.
+//
+// Every decoder must (a) reproduce the summary exactly from its own
+// bytes, (b) reject malformed input by returning std::nullopt — never by
+// crashing — since serialized summaries arrive over the network.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/approx/eps_approximation.h"
+#include "mergeable/approx/eps_kernel.h"
+#include "mergeable/approx/range_counting.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/quantiles/gk.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/quantiles/reservoir.h"
+#include "mergeable/sketch/bloom.h"
+#include "mergeable/sketch/ams.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/sketch/count_sketch.h"
+#include "mergeable/sketch/dyadic_count_min.h"
+#include "mergeable/sketch/kmv.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint64_t> TestStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 2048;
+  return GenerateStream(spec, seed);
+}
+
+template <typename T>
+std::vector<uint8_t> Encode(const T& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+template <typename T>
+std::optional<T> Decode(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  return T::DecodeFrom(reader);
+}
+
+// Exhaustive robustness sweep: truncations at every length and single
+// byte flips at every position must either decode to *something* valid
+// or return nullopt — never crash. (The decoded-valid case is possible
+// only for flips in don't-care bits; the point is absence of UB.)
+template <typename T>
+void CorruptionSweep(const std::vector<uint8_t>& bytes) {
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    ByteReader reader(truncated);
+    (void)T::DecodeFrom(reader);
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> flipped = bytes;
+    flipped[i] ^= 0x41;
+    ByteReader reader(flipped);
+    (void)T::DecodeFrom(reader);
+  }
+}
+
+TEST(SerializationTest, MisraGriesRoundTrip) {
+  MisraGries original(64);
+  for (uint64_t item : TestStream(1)) original.Update(item);
+  const auto bytes = Encode(original);
+  const auto decoded = Decode<MisraGries>(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->capacity(), original.capacity());
+  EXPECT_EQ(decoded->ErrorBound(), original.ErrorBound());
+  for (const Counter& c : original.Counters()) {
+    EXPECT_EQ(decoded->LowerEstimate(c.item), c.count);
+  }
+}
+
+TEST(SerializationTest, MisraGriesDecodedMergesCorrectly) {
+  MisraGries a(32);
+  MisraGries b(32);
+  for (uint64_t item : TestStream(2)) a.Update(item);
+  for (uint64_t item : TestStream(3)) b.Update(item);
+
+  MisraGries direct = a;
+  direct.Merge(b);
+
+  auto decoded_a = Decode<MisraGries>(Encode(a));
+  const auto decoded_b = Decode<MisraGries>(Encode(b));
+  ASSERT_TRUE(decoded_a.has_value() && decoded_b.has_value());
+  decoded_a->Merge(*decoded_b);
+  EXPECT_EQ(decoded_a->n(), direct.n());
+  for (const Counter& c : direct.Counters()) {
+    EXPECT_EQ(decoded_a->LowerEstimate(c.item), c.count);
+  }
+}
+
+TEST(SerializationTest, MisraGriesRejectsCorruption) {
+  MisraGries original(16);
+  for (uint64_t item : TestStream(4)) original.Update(item);
+  const auto bytes = Encode(original);
+  CorruptionSweep<MisraGries>(bytes);
+
+  // Specific must-reject cases.
+  {
+    std::vector<uint8_t> wrong_magic = bytes;
+    wrong_magic[0] ^= 0xff;
+    EXPECT_FALSE(Decode<MisraGries>(wrong_magic).has_value());
+  }
+  {
+    std::vector<uint8_t> trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_FALSE(Decode<MisraGries>(trailing).has_value());
+  }
+  {
+    EXPECT_FALSE(Decode<MisraGries>({}).has_value());
+  }
+}
+
+TEST(SerializationTest, SpaceSavingRoundTrip) {
+  SpaceSaving original(48);
+  for (uint64_t item : TestStream(5)) original.Update(item);
+  SpaceSaving other(48);
+  for (uint64_t item : TestStream(6)) other.Update(item);
+  original.MergeCafaro(other);  // Populate under_slack_ and overs.
+
+  const auto decoded = Decode<SpaceSaving>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->UnderSlack(), original.UnderSlack());
+  EXPECT_EQ(decoded->MinCount(), original.MinCount());
+  for (const Counter& c : original.Counters()) {
+    EXPECT_EQ(decoded->Count(c.item), c.count);
+    EXPECT_EQ(decoded->LowerEstimate(c.item), original.LowerEstimate(c.item));
+    EXPECT_EQ(decoded->UpperEstimate(c.item), original.UpperEstimate(c.item));
+  }
+}
+
+TEST(SerializationTest, SpaceSavingRejectsCorruption) {
+  SpaceSaving original(16);
+  for (uint64_t item : TestStream(7)) original.Update(item);
+  CorruptionSweep<SpaceSaving>(Encode(original));
+  EXPECT_FALSE(Decode<SpaceSaving>({1, 2, 3}).has_value());
+}
+
+TEST(SerializationTest, MergeableQuantilesRoundTrip) {
+  MergeableQuantiles original(128, 8);
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) original.Update(rng.UniformDouble());
+
+  const auto decoded = Decode<MergeableQuantiles>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->buffer_size(), original.buffer_size());
+  EXPECT_EQ(decoded->Compactions(), original.Compactions());
+  EXPECT_EQ(decoded->StoredValues(), original.StoredValues());
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(decoded->Rank(x), original.Rank(x));
+  }
+}
+
+TEST(SerializationTest, MergeableQuantilesRejectsWeightMismatch) {
+  MergeableQuantiles original(64, 10);
+  for (int i = 0; i < 1000; ++i) original.Update(i);
+  auto bytes = Encode(original);
+  // Tamper with n (bytes 12..19: after magic, buffer_size, policy).
+  bytes[12] ^= 1;
+  EXPECT_FALSE(Decode<MergeableQuantiles>(bytes).has_value());
+  CorruptionSweep<MergeableQuantiles>(Encode(original));
+}
+
+TEST(SerializationTest, QDigestRoundTrip) {
+  QDigest original = QDigest::ForEpsilon(0.02, 16);
+  Rng rng(11);
+  for (int i = 0; i < 40000; ++i) {
+    original.Update(rng.UniformInt(uint64_t{1} << 16));
+  }
+  const auto decoded = Decode<QDigest>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->k(), original.k());
+  EXPECT_EQ(decoded->size(), original.size());
+  for (uint64_t x : {100ull, 30000ull, 65535ull}) {
+    EXPECT_EQ(decoded->Rank(x), original.Rank(x));
+  }
+}
+
+TEST(SerializationTest, QDigestRejectsCorruption) {
+  QDigest original(10, 64);
+  for (int i = 0; i < 5000; ++i) original.Update(static_cast<uint64_t>(i % 1024));
+  CorruptionSweep<QDigest>(Encode(original));
+}
+
+TEST(SerializationTest, CountMinRoundTripIsExact) {
+  CountMinSketch original(5, 512, 13);
+  for (uint64_t item : TestStream(12)) original.Update(item);
+  const auto decoded = Decode<CountMinSketch>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  for (uint64_t item : TestStream(12)) {
+    ASSERT_EQ(decoded->Estimate(item), original.Estimate(item));
+  }
+}
+
+TEST(SerializationTest, CountMinDecodedMergesWithOriginal) {
+  CountMinSketch a(4, 256, 14);
+  CountMinSketch b(4, 256, 14);
+  for (uint64_t item : TestStream(13)) a.Update(item);
+  for (uint64_t item : TestStream(14)) b.Update(item);
+  auto decoded = Decode<CountMinSketch>(Encode(a));
+  ASSERT_TRUE(decoded.has_value());
+  decoded->Merge(b);  // Same seed: must be accepted.
+  CountMinSketch direct = a;
+  direct.Merge(b);
+  for (uint64_t item : TestStream(13)) {
+    ASSERT_EQ(decoded->Estimate(item), direct.Estimate(item));
+  }
+}
+
+TEST(SerializationTest, CountMinRejectsCorruption) {
+  CountMinSketch original(3, 64, 15);
+  for (uint64_t item : TestStream(15)) original.Update(item);
+  CorruptionSweep<CountMinSketch>(Encode(original));
+}
+
+TEST(SerializationTest, BloomRoundTrip) {
+  BloomFilter original = BloomFilter::ForExpectedItems(5000, 0.01, 16);
+  for (uint64_t item = 0; item < 5000; ++item) original.Add(item * 3);
+  const auto decoded = Decode<BloomFilter>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->added(), original.added());
+  for (uint64_t probe = 0; probe < 20000; ++probe) {
+    ASSERT_EQ(decoded->MayContain(probe), original.MayContain(probe));
+  }
+}
+
+TEST(SerializationTest, BloomRejectsCorruption) {
+  BloomFilter original(256, 3, 17);
+  for (uint64_t item = 0; item < 50; ++item) original.Add(item);
+  CorruptionSweep<BloomFilter>(Encode(original));
+}
+
+TEST(SerializationTest, KmvRoundTrip) {
+  KmvSketch original(256, 18);
+  for (uint64_t item = 0; item < 30000; ++item) original.Add(item);
+  const auto decoded = Decode<KmvSketch>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->EstimateDistinct(), original.EstimateDistinct());
+
+  // Merging the decoded copy with fresh data must match the original's.
+  KmvSketch more(256, 18);
+  for (uint64_t item = 30000; item < 60000; ++item) more.Add(item);
+  KmvSketch direct = original;
+  direct.Merge(more);
+  auto decoded_copy = *decoded;
+  decoded_copy.Merge(more);
+  EXPECT_DOUBLE_EQ(decoded_copy.EstimateDistinct(),
+                   direct.EstimateDistinct());
+}
+
+TEST(SerializationTest, KmvRejectsCorruption) {
+  KmvSketch original(64, 19);
+  for (uint64_t item = 0; item < 1000; ++item) original.Add(item);
+  CorruptionSweep<KmvSketch>(Encode(original));
+}
+
+TEST(SerializationTest, GkRoundTrip) {
+  GkSummary original(0.01);
+  Rng rng(20);
+  for (int i = 0; i < 30000; ++i) original.Update(rng.UniformDouble());
+  const auto decoded = Decode<GkSummary>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->size(), original.size());
+  for (double x : {0.01, 0.3, 0.77, 0.99}) {
+    EXPECT_EQ(decoded->Rank(x), original.Rank(x));
+  }
+}
+
+TEST(SerializationTest, GkRejectsCorruption) {
+  GkSummary original(0.05);
+  for (int i = 0; i < 2000; ++i) original.Update(i);
+  CorruptionSweep<GkSummary>(Encode(original));
+}
+
+TEST(SerializationTest, CountSketchRoundTripIsExact) {
+  CountSketch original(5, 256, 21);
+  for (uint64_t item : TestStream(21)) original.Update(item);
+  const auto decoded = Decode<CountSketch>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  for (uint64_t item : TestStream(21)) {
+    ASSERT_EQ(decoded->Estimate(item), original.Estimate(item));
+  }
+  CorruptionSweep<CountSketch>(Encode(original));
+}
+
+TEST(SerializationTest, AmsRoundTripIsExact) {
+  AmsSketch original(5, 64, 22);
+  for (uint64_t item : TestStream(22)) original.Update(item);
+  const auto decoded = Decode<AmsSketch>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->EstimateF2(), original.EstimateF2());
+
+  // Decoded copies must merge with originals (same seed).
+  AmsSketch more(5, 64, 22);
+  for (uint64_t item : TestStream(23)) more.Update(item);
+  auto copy = *decoded;
+  copy.Merge(more);
+  AmsSketch direct = original;
+  direct.Merge(more);
+  EXPECT_DOUBLE_EQ(copy.EstimateF2(), direct.EstimateF2());
+  CorruptionSweep<AmsSketch>(Encode(original));
+}
+
+TEST(SerializationTest, DyadicCountMinRoundTrip) {
+  DyadicCountMin original(12, 4, 128, 24);
+  Rng rng(25);
+  for (int i = 0; i < 20000; ++i) {
+    original.Update(rng.UniformInt(uint64_t{1} << 12));
+  }
+  const auto decoded = Decode<DyadicCountMin>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  for (uint64_t lo = 0; lo < (1u << 12); lo += 123) {
+    const uint64_t hi = std::min<uint64_t>((1u << 12) - 1, lo + 200);
+    ASSERT_EQ(decoded->RangeCount(lo, hi), original.RangeCount(lo, hi));
+  }
+  CorruptionSweep<DyadicCountMin>(Encode(original));
+}
+
+TEST(SerializationTest, EpsApproximationRoundTrip) {
+  EpsApproximation original(128, 26, HalvingPolicy::kMorton);
+  Rng rng(27);
+  for (int i = 0; i < 30000; ++i) {
+    original.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  const auto decoded = Decode<EpsApproximation>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->StoredPoints(), original.StoredPoints());
+  EXPECT_EQ(decoded->policy(), original.policy());
+  Rng query_rng(28);
+  for (const Rect& rect : GenerateRandomRects(30, query_rng)) {
+    ASSERT_EQ(decoded->RangeCount(rect), original.RangeCount(rect));
+  }
+  CorruptionSweep<EpsApproximation>(Encode(original));
+}
+
+TEST(SerializationTest, EpsKernelRoundTrip) {
+  EpsKernel original(32);
+  Rng rng(29);
+  for (int i = 0; i < 5000; ++i) {
+    original.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  const auto decoded = Decode<EpsKernel>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  for (double angle = 0.0; angle < 6.2; angle += 0.3) {
+    ASSERT_DOUBLE_EQ(decoded->DirectionalExtent(angle),
+                     original.DirectionalExtent(angle));
+  }
+  CorruptionSweep<EpsKernel>(Encode(original));
+}
+
+TEST(SerializationTest, ReservoirRoundTrip) {
+  ReservoirSample original(64, 30);
+  for (int i = 0; i < 10000; ++i) original.Update(i * 0.5);
+  const auto decoded = Decode<ReservoirSample>(Encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->n(), original.n());
+  EXPECT_EQ(decoded->values(), original.values());
+  CorruptionSweep<ReservoirSample>(Encode(original));
+}
+
+TEST(SerializationTest, ReservoirRejectsImpossibleFillLevel) {
+  ReservoirSample original(64, 31);
+  for (int i = 0; i < 10; ++i) original.Update(i);  // Partial: size == n.
+  auto bytes = Encode(original);
+  // Claim n = 1000 while carrying only 10 values: impossible state.
+  bytes[8] = 0xe8;
+  bytes[9] = 0x03;
+  EXPECT_FALSE(Decode<ReservoirSample>(bytes).has_value());
+}
+
+TEST(SerializationTest, CrossTypeBytesAreRejected) {
+  MisraGries mg(8);
+  mg.Update(1);
+  SpaceSaving ss(8);
+  ss.Update(1);
+  EXPECT_FALSE(Decode<SpaceSaving>(Encode(mg)).has_value());
+  EXPECT_FALSE(Decode<MisraGries>(Encode(ss)).has_value());
+}
+
+TEST(ByteIoTest, WriterReaderPrimitives) {
+  ByteWriter writer;
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutI64(-42);
+  writer.PutDouble(3.25);
+  ByteReader reader(writer.bytes());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  EXPECT_TRUE(reader.GetU32(&u32));
+  EXPECT_TRUE(reader.GetU64(&u64));
+  EXPECT_TRUE(reader.GetI64(&i64));
+  EXPECT_TRUE(reader.GetDouble(&d));
+  EXPECT_EQ(u32, 0xdeadbeef);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(reader.Exhausted());
+  EXPECT_FALSE(reader.GetU32(&u32));  // Past the end.
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,49 @@
+#include "mergeable/frequency/counter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(CounterTest, EqualityComparesBothFields) {
+  EXPECT_EQ((Counter{1, 2}), (Counter{1, 2}));
+  EXPECT_FALSE((Counter{1, 2}) == (Counter{1, 3}));
+  EXPECT_FALSE((Counter{2, 2}) == (Counter{1, 2}));
+}
+
+TEST(CounterTest, SortAscendingBreaksTiesByItem) {
+  std::vector<Counter> counters = {{5, 10}, {1, 10}, {9, 2}};
+  SortByCountAscending(counters);
+  EXPECT_EQ(counters, (std::vector<Counter>{{9, 2}, {1, 10}, {5, 10}}));
+}
+
+TEST(CounterTest, SortDescendingBreaksTiesByItem) {
+  std::vector<Counter> counters = {{5, 10}, {1, 10}, {9, 2}};
+  SortByCountDescending(counters);
+  EXPECT_EQ(counters, (std::vector<Counter>{{1, 10}, {5, 10}, {9, 2}}));
+}
+
+TEST(CombineCountersTest, DisjointSetsConcatenate) {
+  const auto combined = CombineCounters({{1, 2}}, {{2, 3}});
+  ASSERT_EQ(combined.size(), 2u);
+  uint64_t total = 0;
+  for (const Counter& c : combined) total += c.count;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(CombineCountersTest, SharedItemsAddCounts) {
+  auto combined = CombineCounters({{1, 2}, {2, 5}}, {{1, 3}});
+  SortByCountAscending(combined);
+  EXPECT_EQ(combined, (std::vector<Counter>{{1, 5}, {2, 5}}));
+}
+
+TEST(CombineCountersTest, EmptyInputsWork) {
+  EXPECT_TRUE(CombineCounters({}, {}).empty());
+  const auto combined = CombineCounters({{7, 1}}, {});
+  EXPECT_EQ(combined, (std::vector<Counter>{{7, 1}}));
+}
+
+}  // namespace
+}  // namespace mergeable

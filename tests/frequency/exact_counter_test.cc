@@ -1,0 +1,90 @@
+#include "mergeable/frequency/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+static_assert(StreamSummary<ExactCounter, uint64_t>);
+
+TEST(ExactCounterTest, CountsExactly) {
+  ExactCounter counter;
+  counter.Update(1);
+  counter.Update(1);
+  counter.Update(2, 5);
+  EXPECT_EQ(counter.n(), 7u);
+  EXPECT_EQ(counter.Count(1), 2u);
+  EXPECT_EQ(counter.Count(2), 5u);
+  EXPECT_EQ(counter.Count(3), 0u);
+  EXPECT_EQ(counter.LowerEstimate(1), counter.UpperEstimate(1));
+}
+
+TEST(ExactCounterTest, ZeroWeightIsNoOp) {
+  ExactCounter counter;
+  counter.Update(9, 0);
+  EXPECT_EQ(counter.n(), 0u);
+  EXPECT_EQ(counter.size(), 0u);
+}
+
+TEST(ExactCounterTest, MergeAddsCounts) {
+  ExactCounter a;
+  ExactCounter b;
+  a.Update(1, 3);
+  b.Update(1, 4);
+  b.Update(2, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 8u);
+  EXPECT_EQ(a.Count(1), 7u);
+  EXPECT_EQ(a.Count(2), 1u);
+}
+
+TEST(ExactCounterTest, MergedEqualsSinglePassOnAnyTopology) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 512;
+  const auto stream = GenerateStream(spec, 91);
+
+  ExactCounter single;
+  for (uint64_t item : stream) single.Update(item);
+
+  for (MergeTopology topology : kAllTopologies) {
+    const auto shards =
+        PartitionStream(stream, 9, PartitionPolicy::kRoundRobin);
+    auto parts = SummarizeShards(shards, [] { return ExactCounter(); });
+    Rng rng(92);
+    const ExactCounter merged = MergeAll(std::move(parts), topology, &rng);
+    ASSERT_EQ(merged.n(), single.n());
+    ASSERT_EQ(merged.Counters(), single.Counters()) << ToString(topology);
+  }
+}
+
+TEST(ExactCounterTest, FrequentItemsThreshold) {
+  ExactCounter counter;
+  counter.Update(1, 10);
+  counter.Update(2, 5);
+  counter.Update(3, 1);
+  const auto frequent = counter.FrequentItems(5);
+  ASSERT_EQ(frequent.size(), 2u);
+  EXPECT_EQ(frequent[0], (Counter{1, 10}));
+  EXPECT_EQ(frequent[1], (Counter{2, 5}));
+}
+
+TEST(ExactCounterTest, CountersSortedDescending) {
+  ExactCounter counter;
+  counter.Update(5, 1);
+  counter.Update(6, 3);
+  counter.Update(7, 2);
+  const auto counters = counter.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].count, 3u);
+  EXPECT_EQ(counters[1].count, 2u);
+  EXPECT_EQ(counters[2].count, 1u);
+}
+
+}  // namespace
+}  // namespace mergeable

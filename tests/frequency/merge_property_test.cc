@@ -1,0 +1,191 @@
+// Randomized cross-validation of the frequency merge implementations:
+//
+//  * the replay-based object merges must coincide with the closed-form
+//    equations of Cafaro et al. (their Theorems 4.2 and 4.5),
+//  * the Cafaro merges must never commit more total error (vs the
+//    combined summary) than the Agarwal et al. prune — the paper's
+//    Lemmas 4.3 and 4.6,
+//  * all merges must keep every k-majority item of the union.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/frequency/counter.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// A random summary shape: up to `max_counters` counters with counts in
+// [1, max_count], distinct items drawn from a small universe so the two
+// sides overlap with reasonable probability.
+std::vector<Counter> RandomCounters(int max_counters, uint64_t max_count,
+                                    Rng& rng) {
+  const auto how_many = 1 + rng.UniformInt(static_cast<uint64_t>(max_counters));
+  std::map<uint64_t, uint64_t> chosen;
+  for (uint64_t i = 0; i < how_many; ++i) {
+    chosen[rng.UniformInt(uint64_t{40})] = 1 + rng.UniformInt(max_count);
+  }
+  std::vector<Counter> counters;
+  for (const auto& [item, count] : chosen) {
+    counters.push_back(Counter{item, count});
+  }
+  return counters;
+}
+
+uint64_t SumCounts(const std::vector<Counter>& counters) {
+  uint64_t sum = 0;
+  for (const Counter& c : counters) sum += c.count;
+  return sum;
+}
+
+std::map<uint64_t, uint64_t> AsMap(const std::vector<Counter>& counters) {
+  std::map<uint64_t, uint64_t> m;
+  for (const Counter& c : counters) m[c.item] = c.count;
+  return m;
+}
+
+class FrequentMergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrequentMergePropertyTest, ReplayEqualsClosedForm) {
+  const int k = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(k));
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s1 = RandomCounters(k - 1, 50, rng);
+    const auto s2 = RandomCounters(k - 1, 50, rng);
+
+    MisraGries a = MisraGries::FromCounters(k - 1, s1, SumCounts(s1));
+    const MisraGries b = MisraGries::FromCounters(k - 1, s2, SumCounts(s2));
+    a.MergeCafaro(b);
+
+    const auto closed = CafaroClosedFormMergeFrequent(s1, s2, k);
+    ASSERT_EQ(AsMap(a.Counters()), AsMap(closed))
+        << "k=" << k << " trial=" << trial;
+  }
+}
+
+TEST_P(FrequentMergePropertyTest, CafaroTotalErrorNeverExceedsAgarwal) {
+  const int k = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(k));
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s1 = RandomCounters(k - 1, 50, rng);
+    const auto s2 = RandomCounters(k - 1, 50, rng);
+    const auto combined_map = AsMap(CombineCounters(s1, s2));
+
+    const auto total_error = [&combined_map](const MisraGries& merged) {
+      // Underestimation vs the (error-free) combined summary, including
+      // dropped counters.
+      uint64_t kept = 0;
+      for (const Counter& c : merged.Counters()) kept += c.count;
+      uint64_t total = 0;
+      for (const auto& [item, count] : combined_map) total += count;
+      return total - kept;
+    };
+
+    MisraGries agarwal = MisraGries::FromCounters(k - 1, s1, SumCounts(s1));
+    agarwal.Merge(MisraGries::FromCounters(k - 1, s2, SumCounts(s2)));
+
+    MisraGries cafaro = MisraGries::FromCounters(k - 1, s1, SumCounts(s1));
+    cafaro.MergeCafaro(MisraGries::FromCounters(k - 1, s2, SumCounts(s2)));
+
+    ASSERT_LE(total_error(cafaro), total_error(agarwal))
+        << "k=" << k << " trial=" << trial;
+  }
+}
+
+TEST_P(FrequentMergePropertyTest, MergedCountsNeverExceedCombined) {
+  const int k = GetParam();
+  Rng rng(3000 + static_cast<uint64_t>(k));
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s1 = RandomCounters(k - 1, 50, rng);
+    const auto s2 = RandomCounters(k - 1, 50, rng);
+    const auto combined_map = AsMap(CombineCounters(s1, s2));
+
+    MisraGries cafaro = MisraGries::FromCounters(k - 1, s1, SumCounts(s1));
+    cafaro.MergeCafaro(MisraGries::FromCounters(k - 1, s2, SumCounts(s2)));
+    for (const Counter& c : cafaro.Counters()) {
+      ASSERT_LE(c.count, combined_map.at(c.item));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, FrequentMergePropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+class SpaceSavingMergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceSavingMergePropertyTest, ReplayEqualsClosedForm) {
+  const int k = GetParam();
+  Rng rng(4000 + static_cast<uint64_t>(k));
+  for (int trial = 0; trial < 300; ++trial) {
+    // Build genuine SpaceSaving states by streaming weighted updates.
+    SpaceSaving a(k);
+    SpaceSaving b(k);
+    const auto feed = [&rng](SpaceSaving& ss) {
+      const auto updates = 1 + rng.UniformInt(uint64_t{60});
+      for (uint64_t i = 0; i < updates; ++i) {
+        ss.Update(rng.UniformInt(uint64_t{40}), 1 + rng.UniformInt(5));
+      }
+    };
+    feed(a);
+    feed(b);
+
+    // Snapshot raw counters before the merge mutates `a`.
+    const auto s1 = a.Counters();
+    const auto s2 = b.Counters();
+    a.MergeCafaro(b);
+
+    const auto closed = CafaroClosedFormMergeSpaceSaving(s1, s2, k);
+    ASSERT_EQ(AsMap(a.Counters()), AsMap(closed))
+        << "k=" << k << " trial=" << trial;
+  }
+}
+
+TEST_P(SpaceSavingMergePropertyTest, BothMergesKeepKMajorityItems) {
+  const int k = GetParam();
+  Rng rng(5000 + static_cast<uint64_t>(k));
+  for (int trial = 0; trial < 100; ++trial) {
+    // A concrete two-part stream with known exact counts.
+    std::map<uint64_t, uint64_t> truth;
+    SpaceSaving a(k);
+    SpaceSaving b(k);
+    const auto feed = [&rng, &truth](SpaceSaving& ss) {
+      const auto updates = 20 + rng.UniformInt(uint64_t{80});
+      for (uint64_t i = 0; i < updates; ++i) {
+        // Skewed: item j chosen with probability ~ 1/(j+1).
+        uint64_t item = rng.UniformInt(uint64_t{12});
+        item = rng.UniformInt(item + 1);
+        ss.Update(item);
+        ++truth[item];
+      }
+    };
+    feed(a);
+    feed(b);
+    const uint64_t n = a.n() + b.n();
+
+    SpaceSaving agarwal = a;
+    agarwal.Merge(b);
+    SpaceSaving cafaro = a;
+    cafaro.MergeCafaro(b);
+
+    const uint64_t threshold = n / static_cast<uint64_t>(k) + 1;
+    for (const auto& [item, count] : truth) {
+      if (count < threshold) continue;
+      ASSERT_GT(agarwal.Count(item), 0u)
+          << "Agarwal lost k-majority item " << item;
+      ASSERT_GT(cafaro.Count(item), 0u)
+          << "Cafaro lost k-majority item " << item;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SpaceSavingMergePropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mergeable

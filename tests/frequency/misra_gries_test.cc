@@ -1,0 +1,300 @@
+#include "mergeable/frequency/misra_gries.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::map<uint64_t, uint64_t> TrueCounts(const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  return counts;
+}
+
+TEST(MisraGriesTest, SmallStreamIsExact) {
+  MisraGries mg(4);
+  for (uint64_t item : {1u, 1u, 2u, 3u, 1u}) mg.Update(item);
+  EXPECT_EQ(mg.n(), 5u);
+  EXPECT_EQ(mg.LowerEstimate(1), 3u);
+  EXPECT_EQ(mg.LowerEstimate(2), 1u);
+  EXPECT_EQ(mg.LowerEstimate(3), 1u);
+  EXPECT_EQ(mg.ErrorBound(), 0u);
+}
+
+TEST(MisraGriesTest, ClassicDecrementSemantics) {
+  // capacity 2, stream a b c: inserting c decrements a and b to zero.
+  MisraGries mg(2);
+  mg.Update(10);
+  mg.Update(20);
+  mg.Update(30);
+  EXPECT_EQ(mg.size(), 0u);
+  EXPECT_EQ(mg.LowerEstimate(10), 0u);
+  EXPECT_EQ(mg.ErrorBound(), 1u);  // (3 - 0) / 3.
+}
+
+TEST(MisraGriesTest, WeightedUpdateEqualsRepeatedUnit) {
+  MisraGries weighted(3);
+  MisraGries repeated(3);
+  const std::vector<std::pair<uint64_t, uint64_t>> updates = {
+      {1, 5}, {2, 3}, {3, 4}, {4, 2}, {1, 1}};
+  for (const auto& [item, weight] : updates) {
+    weighted.Update(item, weight);
+    for (uint64_t i = 0; i < weight; ++i) repeated.Update(item);
+  }
+  // Not necessarily identical states (weighted prunes in bigger steps),
+  // but both must honor the error bound with the same n.
+  EXPECT_EQ(weighted.n(), repeated.n());
+  EXPECT_LE(weighted.ErrorBound(), weighted.n() / 4);
+  EXPECT_LE(repeated.ErrorBound(), repeated.n() / 4);
+}
+
+TEST(MisraGriesTest, ZeroWeightUpdateIsNoOp) {
+  MisraGries mg(2);
+  mg.Update(1, 0);
+  EXPECT_EQ(mg.n(), 0u);
+  EXPECT_EQ(mg.size(), 0u);
+}
+
+TEST(MisraGriesTest, LowerBoundNeverExceedsTruth) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 50000;
+  spec.universe = 4096;
+  const auto stream = GenerateStream(spec, 21);
+  const auto truth = TrueCounts(stream);
+
+  MisraGries mg(64);
+  for (uint64_t item : stream) mg.Update(item);
+
+  for (const Counter& counter : mg.Counters()) {
+    ASSERT_LE(counter.count, truth.at(counter.item));
+  }
+}
+
+TEST(MisraGriesTest, ErrorBoundCoversEveryItem) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 50000;
+  spec.universe = 4096;
+  const auto stream = GenerateStream(spec, 22);
+  const auto truth = TrueCounts(stream);
+
+  MisraGries mg(64);
+  for (uint64_t item : stream) mg.Update(item);
+
+  const uint64_t error = mg.ErrorBound();
+  EXPECT_LE(error, mg.n() / 65);
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(count, mg.LowerEstimate(item) + error) << "item " << item;
+  }
+}
+
+TEST(MisraGriesTest, KMajorityItemsAlwaysMonitored) {
+  // Every item with frequency > n / (capacity + 1) must be present.
+  StreamSpec spec;
+  spec.kind = StreamKind::kAdversarialMg;
+  spec.n = 40000;
+  spec.heavy_items = 10;
+  const auto stream = GenerateStream(spec, 23);
+  const auto truth = TrueCounts(stream);
+
+  MisraGries mg(20);
+  for (uint64_t item : stream) mg.Update(item);
+
+  const uint64_t threshold = mg.n() / 21 + 1;
+  for (const auto& [item, count] : truth) {
+    if (count >= threshold) {
+      EXPECT_GT(mg.LowerEstimate(item), 0u) << "lost heavy item " << item;
+    }
+  }
+}
+
+TEST(MisraGriesTest, FrequentItemsHasNoFalseNegatives) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 30000;
+  spec.universe = 1024;
+  const auto stream = GenerateStream(spec, 24);
+  const auto truth = TrueCounts(stream);
+
+  MisraGries mg(32);
+  for (uint64_t item : stream) mg.Update(item);
+
+  const uint64_t threshold = stream.size() / 50;
+  const auto reported = mg.FrequentItems(threshold);
+  for (const auto& [item, count] : truth) {
+    if (count < threshold) continue;
+    const bool found =
+        std::any_of(reported.begin(), reported.end(),
+                    [item](const Counter& c) { return c.item == item; });
+    EXPECT_TRUE(found) << "missed item " << item << " count " << count;
+  }
+}
+
+TEST(MisraGriesTest, MergePreservesBoundsAcrossShards) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 60000;
+  spec.universe = 2048;
+  const auto stream = GenerateStream(spec, 25);
+  const auto truth = TrueCounts(stream);
+  const auto shards =
+      PartitionStream(stream, 8, PartitionPolicy::kContiguous);
+
+  std::vector<MisraGries> parts;
+  for (const auto& shard : shards) {
+    MisraGries mg(48);
+    for (uint64_t item : shard) mg.Update(item);
+    parts.push_back(mg);
+  }
+  MisraGries merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) merged.Merge(parts[i]);
+
+  EXPECT_EQ(merged.n(), stream.size());
+  EXPECT_LE(merged.size(), 48u);
+  const uint64_t error = merged.ErrorBound();
+  EXPECT_LE(error, merged.n() / 49);
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(merged.LowerEstimate(item), count);
+    ASSERT_LE(count, merged.LowerEstimate(item) + error);
+  }
+}
+
+TEST(MisraGriesTest, MergeCafaroPreservesBoundsAcrossShards) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 60000;
+  spec.universe = 2048;
+  const auto stream = GenerateStream(spec, 26);
+  const auto truth = TrueCounts(stream);
+  const auto shards = PartitionStream(stream, 8, PartitionPolicy::kByValue);
+
+  std::vector<MisraGries> parts;
+  for (const auto& shard : shards) {
+    MisraGries mg(48);
+    for (uint64_t item : shard) mg.Update(item);
+    parts.push_back(mg);
+  }
+  MisraGries merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) merged.MergeCafaro(parts[i]);
+
+  EXPECT_EQ(merged.n(), stream.size());
+  EXPECT_LE(merged.size(), 48u);
+  const uint64_t error = merged.ErrorBound();
+  EXPECT_LE(error, merged.n() / 49);
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(merged.LowerEstimate(item), count);
+    ASSERT_LE(count, merged.LowerEstimate(item) + error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worked example from Cafaro et al. §5.1 (k = 5). Note: the paper lists
+// element 10 of S2 with frequency 45 in the input table but uses 40 in
+// every subsequent step; we follow the arithmetic (40).
+// ---------------------------------------------------------------------------
+
+std::vector<Counter> PaperS1() {
+  return {{2, 4}, {3, 11}, {4, 22}, {5, 33}};
+}
+std::vector<Counter> PaperS2() {
+  return {{7, 10}, {8, 20}, {9, 30}, {10, 40}};
+}
+
+TEST(MisraGriesPaperExampleTest, AgarwalMergeMatchesSection511) {
+  MisraGries s1 = MisraGries::FromCounters(4, PaperS1(), 70);
+  MisraGries s2 = MisraGries::FromCounters(4, PaperS2(), 100);
+  s1.Merge(s2);
+
+  std::map<uint64_t, uint64_t> result;
+  for (const Counter& c : s1.Counters()) result[c.item] = c.count;
+  const std::map<uint64_t, uint64_t> expected = {
+      {4, 2}, {9, 10}, {5, 13}, {10, 20}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(MisraGriesPaperExampleTest, CafaroMergeMatchesSection512) {
+  MisraGries s1 = MisraGries::FromCounters(4, PaperS1(), 70);
+  MisraGries s2 = MisraGries::FromCounters(4, PaperS2(), 100);
+  s1.MergeCafaro(s2);
+
+  std::map<uint64_t, uint64_t> result;
+  for (const Counter& c : s1.Counters()) result[c.item] = c.count;
+  const std::map<uint64_t, uint64_t> expected = {
+      {4, 2}, {9, 14}, {5, 23}, {10, 31}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(MisraGriesPaperExampleTest, ClosedFormMatchesSection512) {
+  const auto merged = CafaroClosedFormMergeFrequent(PaperS1(), PaperS2(), 5);
+  const std::vector<Counter> expected = {
+      {4, 2}, {9, 14}, {5, 23}, {10, 31}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(MisraGriesPaperExampleTest, TotalErrorsMatchPaper) {
+  // Total error vs the combined summary: Agarwal = 80, Cafaro = 55.
+  const auto combined = CombineCounters(PaperS1(), PaperS2());
+  std::map<uint64_t, uint64_t> combined_counts;
+  for (const Counter& c : combined) combined_counts[c.item] = c.count;
+
+  const auto total_error = [&combined_counts](const MisraGries& merged) {
+    uint64_t error = 0;
+    for (const Counter& c : merged.Counters()) {
+      error += combined_counts.at(c.item) - c.count;
+    }
+    return error;
+  };
+
+  MisraGries agarwal = MisraGries::FromCounters(4, PaperS1(), 70);
+  agarwal.Merge(MisraGries::FromCounters(4, PaperS2(), 100));
+  EXPECT_EQ(total_error(agarwal), 80u);
+
+  MisraGries cafaro = MisraGries::FromCounters(4, PaperS1(), 70);
+  cafaro.MergeCafaro(MisraGries::FromCounters(4, PaperS2(), 100));
+  EXPECT_EQ(total_error(cafaro), 55u);
+}
+
+TEST(MisraGriesTest, ForEpsilonSizesCapacity) {
+  const MisraGries mg = MisraGries::ForEpsilon(0.01);
+  EXPECT_EQ(mg.capacity(), 100);
+}
+
+TEST(MisraGriesTest, FromCountersRoundTrips) {
+  const std::vector<Counter> counters = {{1, 5}, {2, 3}};
+  const MisraGries mg = MisraGries::FromCounters(4, counters, 10);
+  EXPECT_EQ(mg.n(), 10u);
+  EXPECT_EQ(mg.LowerEstimate(1), 5u);
+  EXPECT_EQ(mg.LowerEstimate(2), 3u);
+  EXPECT_EQ(mg.ErrorBound(), (10u - 8u) / 5u);
+}
+
+TEST(MisraGriesDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(MisraGries(0), "capacity");
+  EXPECT_DEATH(MisraGries::ForEpsilon(0.0), "epsilon");
+  EXPECT_DEATH(MisraGries::ForEpsilon(1.5), "epsilon");
+}
+
+TEST(MisraGriesDeathTest, MergeRequiresEqualCapacity) {
+  MisraGries a(4);
+  MisraGries b(5);
+  EXPECT_DEATH(a.Merge(b), "different capacities");
+  EXPECT_DEATH(a.MergeCafaro(b), "different capacities");
+}
+
+TEST(MisraGriesDeathTest, FromCountersValidates) {
+  EXPECT_DEATH(
+      MisraGries::FromCounters(1, {{1, 2}, {2, 2}}, 10), "too many");
+  EXPECT_DEATH(MisraGries::FromCounters(4, {{1, 20}}, 10), "exceed");
+}
+
+}  // namespace
+}  // namespace mergeable

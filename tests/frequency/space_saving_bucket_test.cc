@@ -1,0 +1,201 @@
+#include "mergeable/frequency/space_saving_bucket.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint64_t> SortedCountsOf(const std::vector<Counter>& counters) {
+  std::vector<uint64_t> counts;
+  counts.reserve(counters.size());
+  for (const Counter& c : counters) counts.push_back(c.count);
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+TEST(SpaceSavingBucketTest, SmallStreamExact) {
+  SpaceSavingBucket ss(4);
+  for (uint64_t item : {1u, 1u, 2u, 3u, 1u}) ss.Update(item);
+  EXPECT_EQ(ss.n(), 5u);
+  EXPECT_EQ(ss.Count(1), 3u);
+  EXPECT_EQ(ss.Count(2), 1u);
+  EXPECT_EQ(ss.Count(3), 1u);
+  EXPECT_EQ(ss.MinCount(), 0u);  // Not full.
+  EXPECT_EQ(ss.size(), 3u);
+}
+
+TEST(SpaceSavingBucketTest, EvictionInheritsMin) {
+  SpaceSavingBucket ss(2);
+  ss.Update(1);
+  ss.Update(2);
+  ss.Update(3);  // Evicts a count-1 entry.
+  EXPECT_EQ(ss.Count(3), 2u);
+  EXPECT_EQ(ss.LowerEstimate(3), 1u);
+  EXPECT_EQ(ss.size(), 2u);
+}
+
+TEST(SpaceSavingBucketTest, SumOfCountersEqualsN) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 30000;
+  spec.universe = 1024;
+  const auto stream = GenerateStream(spec, 81);
+  SpaceSavingBucket ss(64);
+  for (uint64_t item : stream) ss.Update(item);
+  uint64_t sum = 0;
+  for (const Counter& c : ss.Counters()) sum += c.count;
+  EXPECT_EQ(sum, ss.n());
+}
+
+class BucketVsHeapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketVsHeapTest, CountMultisetMatchesHeapImplementation) {
+  // Whichever min-count entry is evicted, the multiset of counter
+  // values evolves identically; the bucket structure must match the
+  // heap-based SpaceSaving exactly on that invariant.
+  const int capacity = GetParam();
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 600;
+  spec.alpha = 1.0;
+  const auto stream = GenerateStream(spec, 82);
+
+  SpaceSavingBucket bucket(capacity);
+  SpaceSaving heap(capacity);
+  for (uint64_t item : stream) {
+    bucket.Update(item);
+    heap.Update(item);
+  }
+  EXPECT_EQ(SortedCountsOf(bucket.Counters()), SortedCountsOf(heap.Counters()));
+  EXPECT_EQ(bucket.MinCount(), heap.MinCount());
+  EXPECT_EQ(bucket.n(), heap.n());
+}
+
+TEST_P(BucketVsHeapTest, BoundsHoldForEveryItem) {
+  const int capacity = GetParam();
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 600;
+  const auto stream = GenerateStream(spec, 83);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t item : stream) ++truth[item];
+
+  SpaceSavingBucket ss(capacity);
+  for (uint64_t item : stream) ss.Update(item);
+
+  EXPECT_LE(ss.MinCount(), ss.n() / static_cast<uint64_t>(capacity));
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(ss.LowerEstimate(item), count) << "item " << item;
+    ASSERT_LE(count, ss.UpperEstimate(item)) << "item " << item;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BucketVsHeapTest,
+                         ::testing::Values(2, 3, 8, 33, 128));
+
+TEST(SpaceSavingBucketTest, ManyDistinctThenRepeats) {
+  SpaceSavingBucket ss(8);
+  for (uint64_t item = 0; item < 100; ++item) ss.Update(item);
+  for (int i = 0; i < 50; ++i) ss.Update(1000);
+  EXPECT_GE(ss.Count(1000), 50u);
+  EXPECT_EQ(ss.size(), 8u);
+}
+
+TEST(SpaceSavingBucketTest, SingleRepeatedItem) {
+  SpaceSavingBucket ss(4);
+  for (int i = 0; i < 1000; ++i) ss.Update(7);
+  EXPECT_EQ(ss.Count(7), 1000u);
+  EXPECT_EQ(ss.LowerEstimate(7), 1000u);
+  EXPECT_EQ(ss.size(), 1u);
+}
+
+TEST(SpaceSavingBucketTest, ToSpaceSavingPreservesCountersAndN) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 10000;
+  spec.universe = 300;
+  const auto stream = GenerateStream(spec, 84);
+  SpaceSavingBucket bucket(32);
+  for (uint64_t item : stream) bucket.Update(item);
+
+  const SpaceSaving converted = bucket.ToSpaceSaving();
+  EXPECT_EQ(converted.n(), bucket.n());
+  std::map<uint64_t, uint64_t> bucket_counters;
+  for (const Counter& c : bucket.Counters()) bucket_counters[c.item] = c.count;
+  std::map<uint64_t, uint64_t> converted_counters;
+  for (const Counter& c : converted.Counters()) {
+    converted_counters[c.item] = c.count;
+  }
+  EXPECT_EQ(bucket_counters, converted_counters);
+}
+
+TEST(SpaceSavingBucketTest, ConvertedSummaryMergesLikeNative) {
+  // End-to-end: stream through bucket summaries, convert, merge, and
+  // check the epsilon bound against exact counts.
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 40000;
+  spec.universe = 2048;
+  const auto stream = GenerateStream(spec, 85);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t item : stream) ++truth[item];
+
+  constexpr int kCapacity = 50;
+  SpaceSaving merged(kCapacity);
+  bool first = true;
+  for (int s = 0; s < 8; ++s) {
+    SpaceSavingBucket shard(kCapacity);
+    for (size_t i = static_cast<size_t>(s); i < stream.size(); i += 8) {
+      shard.Update(stream[i]);
+    }
+    if (first) {
+      merged = shard.ToSpaceSaving();
+      first = false;
+    } else {
+      merged.Merge(shard.ToSpaceSaving());
+    }
+  }
+  EXPECT_EQ(merged.n(), stream.size());
+  const uint64_t eps_n = stream.size() / kCapacity;
+  for (const auto& [item, count] : truth) {
+    const uint64_t estimate = merged.Count(item);
+    const uint64_t error =
+        estimate > count ? estimate - count : count - estimate;
+    ASSERT_LE(error, eps_n) << "item " << item;
+  }
+}
+
+TEST(SpaceSavingBucketTest, AlternatingGrowth) {
+  // Stress bucket creation/removal: counts split and re-join buckets.
+  SpaceSavingBucket ss(16);
+  Rng rng(86);
+  for (int round = 0; round < 5000; ++round) {
+    ss.Update(rng.UniformInt(uint64_t{24}));
+  }
+  uint64_t sum = 0;
+  uint64_t last = ~uint64_t{0};
+  for (const Counter& c : ss.Counters()) {
+    sum += c.count;
+    EXPECT_LE(c.count, last);  // Descending order.
+    last = c.count;
+  }
+  EXPECT_EQ(sum, ss.n());
+}
+
+TEST(SpaceSavingBucketDeathTest, InvalidCapacity) {
+  EXPECT_DEATH(SpaceSavingBucket(1), "capacity");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,307 @@
+#include "mergeable/frequency/space_saving.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::map<uint64_t, uint64_t> TrueCounts(const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  return counts;
+}
+
+TEST(SpaceSavingTest, SmallStreamIsExact) {
+  SpaceSaving ss(4);
+  for (uint64_t item : {1u, 1u, 2u, 3u, 1u}) ss.Update(item);
+  EXPECT_EQ(ss.n(), 5u);
+  EXPECT_EQ(ss.Count(1), 3u);
+  EXPECT_EQ(ss.Count(2), 1u);
+  EXPECT_EQ(ss.MinCount(), 0u);  // Not full yet.
+  EXPECT_EQ(ss.LowerEstimate(1), 3u);
+  EXPECT_EQ(ss.UpperEstimate(1), 3u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinCount) {
+  SpaceSaving ss(2);
+  ss.Update(1);  // {1:1}
+  ss.Update(2);  // {1:1, 2:1}
+  ss.Update(3);  // evicts min -> {3:2, ...} with over = 1
+  EXPECT_EQ(ss.Count(3), 2u);
+  EXPECT_EQ(ss.LowerEstimate(3), 1u);
+  EXPECT_EQ(ss.n(), 3u);
+}
+
+TEST(SpaceSavingTest, SumOfCountersEqualsNWhileStreaming) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 30000;
+  spec.universe = 1024;
+  const auto stream = GenerateStream(spec, 31);
+
+  SpaceSaving ss(32);
+  for (uint64_t item : stream) ss.Update(item);
+
+  uint64_t sum = 0;
+  for (const Counter& counter : ss.Counters()) sum += counter.count;
+  EXPECT_EQ(sum, ss.n());
+}
+
+TEST(SpaceSavingTest, StreamingBoundsHoldForEveryItem) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 50000;
+  spec.universe = 4096;
+  const auto stream = GenerateStream(spec, 32);
+  const auto truth = TrueCounts(stream);
+
+  SpaceSaving ss(64);
+  for (uint64_t item : stream) ss.Update(item);
+
+  EXPECT_LE(ss.MinCount(), ss.n() / 64);
+  EXPECT_EQ(ss.UnderSlack(), 0u);
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(ss.LowerEstimate(item), count) << "item " << item;
+    ASSERT_LE(count, ss.UpperEstimate(item)) << "item " << item;
+  }
+}
+
+TEST(SpaceSavingTest, IsomorphismWithMisraGries) {
+  // Agarwal et al.: SS with k+1 counters vs MG with k counters on the
+  // same stream satisfy ss_estimate(x) == mg_count(x) + min_ss for every
+  // x, and min_ss == (n - sum mg) / (k + 1).
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 512;
+  const auto stream = GenerateStream(spec, 33);
+  const auto truth = TrueCounts(stream);
+
+  constexpr int k = 16;
+  SpaceSaving ss(k + 1);
+  MisraGries mg(k);
+  for (uint64_t item : stream) {
+    ss.Update(item);
+    mg.Update(item);
+  }
+
+  uint64_t mg_sum = 0;
+  for (const Counter& counter : mg.Counters()) mg_sum += counter.count;
+  ASSERT_EQ(ss.MinCount(), (ss.n() - mg_sum) / (k + 1));
+
+  for (const auto& [item, count] : truth) {
+    const uint64_t ss_estimate =
+        ss.Count(item) > 0 ? ss.Count(item) : ss.MinCount();
+    ASSERT_EQ(ss_estimate, mg.LowerEstimate(item) + ss.MinCount())
+        << "item " << item;
+  }
+}
+
+TEST(SpaceSavingTest, ToMisraGriesKeepsGuarantee) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 512;
+  const auto stream = GenerateStream(spec, 34);
+  const auto truth = TrueCounts(stream);
+
+  SpaceSaving ss(33);
+  for (uint64_t item : stream) ss.Update(item);
+  const MisraGries mg = ss.ToMisraGries();
+
+  EXPECT_EQ(mg.n(), ss.n());
+  EXPECT_LE(mg.size(), 32u);
+  const uint64_t error = mg.ErrorBound();
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(mg.LowerEstimate(item), count);
+    ASSERT_LE(count, mg.LowerEstimate(item) + error);
+  }
+}
+
+class SpaceSavingMergeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Merges b into a with the algorithm under test.
+  static void DoMerge(SpaceSaving& a, const SpaceSaving& b, bool cafaro) {
+    if (cafaro) {
+      a.MergeCafaro(b);
+    } else {
+      a.Merge(b);
+    }
+  }
+};
+
+TEST_P(SpaceSavingMergeTest, TwoSidedBoundsHoldAfterMergeTree) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 60000;
+  spec.universe = 2048;
+  const auto stream = GenerateStream(spec, 35);
+  const auto truth = TrueCounts(stream);
+  const auto shards = PartitionStream(stream, 8, PartitionPolicy::kRandom, 7);
+
+  std::vector<SpaceSaving> parts;
+  for (const auto& shard : shards) {
+    SpaceSaving ss(64);
+    for (uint64_t item : shard) ss.Update(item);
+    parts.push_back(ss);
+  }
+  SpaceSaving merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    DoMerge(merged, parts[i], GetParam());
+  }
+
+  EXPECT_EQ(merged.n(), stream.size());
+  EXPECT_LE(merged.size(), 64u);
+  for (const auto& [item, count] : truth) {
+    ASSERT_LE(merged.LowerEstimate(item), count) << "item " << item;
+    ASSERT_LE(count, merged.UpperEstimate(item)) << "item " << item;
+  }
+}
+
+TEST_P(SpaceSavingMergeTest, MergedErrorWithinEpsilonN) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 60000;
+  spec.universe = 2048;
+  const auto stream = GenerateStream(spec, 36);
+  const auto truth = TrueCounts(stream);
+  const auto shards =
+      PartitionStream(stream, 16, PartitionPolicy::kContiguous);
+
+  constexpr int kCapacity = 50;  // epsilon = 1/50.
+  std::vector<SpaceSaving> parts;
+  for (const auto& shard : shards) {
+    SpaceSaving ss(kCapacity);
+    for (uint64_t item : shard) ss.Update(item);
+    parts.push_back(ss);
+  }
+  SpaceSaving merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    DoMerge(merged, parts[i], GetParam());
+  }
+
+  const auto epsilon_n = static_cast<uint64_t>(stream.size()) / kCapacity;
+  for (const auto& [item, count] : truth) {
+    const uint64_t estimate = merged.Count(item);
+    const uint64_t error =
+        estimate > count ? estimate - count : count - estimate;
+    ASSERT_LE(error, epsilon_n) << "item " << item;
+  }
+}
+
+TEST_P(SpaceSavingMergeTest, HeavyHittersSurviveMerging) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kAdversarialMg;
+  spec.n = 50000;
+  spec.heavy_items = 8;
+  const auto stream = GenerateStream(spec, 37);
+  const auto truth = TrueCounts(stream);
+  const auto shards = PartitionStream(stream, 10, PartitionPolicy::kRandom, 3);
+
+  std::vector<SpaceSaving> parts;
+  for (const auto& shard : shards) {
+    SpaceSaving ss(32);
+    for (uint64_t item : shard) ss.Update(item);
+    parts.push_back(ss);
+  }
+  SpaceSaving merged = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    DoMerge(merged, parts[i], GetParam());
+  }
+
+  const uint64_t threshold = stream.size() / 32 + 1;
+  const auto reported = merged.FrequentItems(threshold);
+  for (const auto& [item, count] : truth) {
+    if (count < threshold) continue;
+    const bool found =
+        std::any_of(reported.begin(), reported.end(),
+                    [item](const Counter& c) { return c.item == item; });
+    EXPECT_TRUE(found) << "missed heavy item " << item;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgorithms, SpaceSavingMergeTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Cafaro" : "Agarwal";
+                         });
+
+// ---------------------------------------------------------------------------
+// Worked example from Cafaro et al. §5.2 (k = 5).
+// ---------------------------------------------------------------------------
+
+std::vector<Counter> PaperSs1() {
+  return {{1, 5}, {2, 7}, {3, 12}, {4, 14}, {5, 18}};
+}
+std::vector<Counter> PaperSs2() {
+  return {{6, 4}, {7, 16}, {8, 17}, {9, 19}, {10, 23}};
+}
+
+SpaceSaving FromCounters(const std::vector<Counter>& counters) {
+  SpaceSaving ss(5);
+  // Feeding ascending by count reproduces the summary exactly (no
+  // evictions occur: 5 distinct items, 5 counters).
+  std::vector<Counter> ascending = counters;
+  SortByCountAscending(ascending);
+  for (const Counter& c : ascending) ss.Update(c.item, c.count);
+  return ss;
+}
+
+TEST(SpaceSavingPaperExampleTest, AgarwalMergeMatchesSection521) {
+  SpaceSaving s1 = FromCounters(PaperSs1());
+  SpaceSaving s2 = FromCounters(PaperSs2());
+  s1.Merge(s2);
+
+  std::map<uint64_t, uint64_t> result;
+  for (const Counter& c : s1.Counters()) result[c.item] = c.count;
+  const std::map<uint64_t, uint64_t> expected = {
+      {5, 1}, {8, 1}, {9, 3}, {10, 7}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(SpaceSavingPaperExampleTest, CafaroMergeMatchesSection522) {
+  SpaceSaving s1 = FromCounters(PaperSs1());
+  SpaceSaving s2 = FromCounters(PaperSs2());
+  s1.MergeCafaro(s2);
+
+  std::map<uint64_t, uint64_t> result;
+  for (const Counter& c : s1.Counters()) result[c.item] = c.count;
+  const std::map<uint64_t, uint64_t> expected = {
+      {7, 12}, {5, 13}, {8, 15}, {9, 22}, {10, 28}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(SpaceSavingPaperExampleTest, ClosedFormMatchesSection522) {
+  const auto merged =
+      CafaroClosedFormMergeSpaceSaving(PaperSs1(), PaperSs2(), 5);
+  const std::vector<Counter> expected = {
+      {7, 12}, {5, 13}, {8, 15}, {9, 22}, {10, 28}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(SpaceSavingTest, ForEpsilonSizesCapacity) {
+  EXPECT_EQ(SpaceSaving::ForEpsilon(0.02).capacity(), 50);
+}
+
+TEST(SpaceSavingDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(SpaceSaving(1), "capacity");
+  EXPECT_DEATH(SpaceSaving::ForEpsilon(0.0), "epsilon");
+}
+
+TEST(SpaceSavingDeathTest, MergeRequiresEqualCapacity) {
+  SpaceSaving a(4);
+  SpaceSaving b(5);
+  EXPECT_DEATH(a.Merge(b), "different capacities");
+  EXPECT_DEATH(a.MergeCafaro(b), "different capacities");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,146 @@
+#include "mergeable/frequency/topk.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint64_t> SkewedStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 50000;
+  spec.universe = 2048;
+  spec.alpha = 1.2;
+  return GenerateStream(spec, seed);
+}
+
+// True top-k item set from exact counts (ties broken by item id, as in
+// ExactCounts).
+std::set<uint64_t> TrueTopK(const std::vector<uint64_t>& stream, size_t k) {
+  const auto counts = ExactCounts(stream);
+  std::set<uint64_t> top;
+  for (size_t i = 0; i < std::min(k, counts.size()); ++i) {
+    top.insert(counts[i].first);
+  }
+  return top;
+}
+
+TEST(TopKTest, ExactOnSmallSummary) {
+  MisraGries mg(8);
+  for (int i = 0; i < 30; ++i) mg.Update(1);
+  for (int i = 0; i < 20; ++i) mg.Update(2);
+  for (int i = 0; i < 10; ++i) mg.Update(3);
+  const auto top = TopK(mg, 2);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 1u);
+  EXPECT_TRUE(top[0].guaranteed);
+  EXPECT_EQ(top[1].item, 2u);
+  EXPECT_TRUE(top[1].guaranteed);
+  EXPECT_EQ(top[0].lower, 30u);
+  EXPECT_EQ(top[0].upper, 30u);
+}
+
+TEST(TopKTest, GuaranteedEntriesAreTrulyTopK) {
+  const auto stream = SkewedStream(1);
+  SpaceSaving ss(128);
+  for (uint64_t item : stream) ss.Update(item);
+
+  constexpr size_t kK = 10;
+  const auto truth = TrueTopK(stream, kK);
+  const auto top = TopK(ss, kK);
+  for (const TopKEntry& entry : top) {
+    if (!entry.guaranteed) continue;
+    EXPECT_TRUE(truth.count(entry.item) == 1)
+        << "guaranteed item " << entry.item << " is not in the true top-k";
+  }
+}
+
+TEST(TopKTest, CandidateSetCoversTrueTopK) {
+  const auto stream = SkewedStream(2);
+  MisraGries mg(128);
+  for (uint64_t item : stream) mg.Update(item);
+
+  constexpr size_t kK = 10;
+  const auto truth = TrueTopK(stream, kK);
+  const auto top = TopK(mg, kK);
+  for (uint64_t item : truth) {
+    const bool present = std::any_of(
+        top.begin(), top.end(),
+        [item](const TopKEntry& entry) { return entry.item == item; });
+    EXPECT_TRUE(present) << "true top-k item " << item << " missing";
+  }
+}
+
+TEST(TopKTest, GuaranteesSurviveMerging) {
+  const auto stream = SkewedStream(3);
+  const auto shards = PartitionStream(stream, 8, PartitionPolicy::kRandom, 4);
+  SpaceSaving merged(128);
+  bool first = true;
+  for (const auto& shard : shards) {
+    SpaceSaving part(128);
+    for (uint64_t item : shard) part.Update(item);
+    if (first) {
+      merged = part;
+      first = false;
+    } else {
+      merged.Merge(part);
+    }
+  }
+  constexpr size_t kK = 5;
+  const auto truth = TrueTopK(stream, kK);
+  for (const TopKEntry& entry : TopK(merged, kK)) {
+    if (entry.guaranteed) {
+      EXPECT_TRUE(truth.count(entry.item) == 1) << entry.item;
+    }
+  }
+}
+
+TEST(TopKTest, BoundsAreOrderedAndConsistent) {
+  const auto stream = SkewedStream(5);
+  MisraGries mg(64);
+  for (uint64_t item : stream) mg.Update(item);
+  const auto top = TopK(mg, 8);
+  uint64_t previous_upper = ~uint64_t{0};
+  for (const TopKEntry& entry : top) {
+    EXPECT_LE(entry.lower, entry.upper);
+    EXPECT_LE(entry.upper, previous_upper);  // Ranked by upper bound.
+    previous_upper = entry.upper;
+  }
+}
+
+TEST(TopKTest, KLargerThanSummary) {
+  MisraGries mg(4);
+  mg.Update(1);
+  mg.Update(2);
+  const auto top = TopK(mg, 100);
+  EXPECT_EQ(top.size(), 2u);
+  for (const TopKEntry& entry : top) EXPECT_TRUE(entry.guaranteed);
+}
+
+TEST(TopKTest, EmptySummary) {
+  MisraGries mg(4);
+  EXPECT_TRUE(TopK(mg, 3).empty());
+}
+
+TEST(TopKTest, ZeroK) {
+  MisraGries mg(4);
+  mg.Update(1);
+  // k = 0: no thresholds; everything is a candidate, nothing guaranteed
+  // beyond the degenerate "summary smaller than k" rule.
+  const auto top = TopK(mg, 0);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mergeable

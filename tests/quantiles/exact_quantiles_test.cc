@@ -1,0 +1,63 @@
+#include "mergeable/quantiles/exact_quantiles.h"
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(ExactQuantilesTest, RankCountsValuesAtMostX) {
+  ExactQuantiles exact;
+  for (double v : {1.0, 2.0, 2.0, 3.0, 10.0}) exact.Update(v);
+  EXPECT_EQ(exact.Rank(0.5), 0u);
+  EXPECT_EQ(exact.Rank(1.0), 1u);
+  EXPECT_EQ(exact.Rank(2.0), 3u);
+  EXPECT_EQ(exact.Rank(9.9), 4u);
+  EXPECT_EQ(exact.Rank(10.0), 5u);
+  EXPECT_EQ(exact.Rank(99.0), 5u);
+}
+
+TEST(ExactQuantilesTest, QuantileReturnsOrderStatistics) {
+  ExactQuantiles exact;
+  for (int i = 1; i <= 100; ++i) exact.Update(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(exact.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(1.0), 100.0);
+}
+
+TEST(ExactQuantilesTest, MergeConcatenates) {
+  ExactQuantiles a;
+  ExactQuantiles b;
+  a.Update(1.0);
+  a.Update(3.0);
+  b.Update(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 3u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 2.0);
+}
+
+TEST(ExactQuantilesTest, SingleElement) {
+  ExactQuantiles exact;
+  exact.Update(7.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(exact.Quantile(1.0), 7.0);
+  EXPECT_EQ(exact.Rank(7.0), 1u);
+}
+
+TEST(ExactQuantilesTest, UpdatesAfterQueriesWork) {
+  ExactQuantiles exact;
+  exact.Update(5.0);
+  EXPECT_EQ(exact.Rank(5.0), 1u);
+  exact.Update(1.0);
+  EXPECT_EQ(exact.Rank(1.0), 1u);
+  EXPECT_EQ(exact.Rank(5.0), 2u);
+}
+
+TEST(ExactQuantilesDeathTest, QuantileOfEmptyAborts) {
+  ExactQuantiles exact;
+  EXPECT_DEATH(exact.Quantile(0.5), "empty");
+}
+
+}  // namespace
+}  // namespace mergeable

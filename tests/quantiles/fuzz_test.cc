@@ -1,0 +1,158 @@
+// Randomized differential tests for the quantile summaries against
+// brute-force sorted vectors, over thousands of small random scenarios.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/quantiles/exact_quantiles.h"
+#include "mergeable/quantiles/gk.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(QuantileFuzzTest, MergeableQuantilesWeightConservation) {
+  Rng rng(201);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int buffer = 2 * (1 + static_cast<int>(rng.UniformInt(uint64_t{8})));
+    MergeableQuantiles merged(buffer, 500 + static_cast<uint64_t>(trial));
+    uint64_t total = 0;
+    const auto parts = 1 + rng.UniformInt(uint64_t{4});
+    for (uint64_t p = 0; p < parts; ++p) {
+      MergeableQuantiles part(buffer, 900 + trial * 10 + p);
+      const auto items = rng.UniformInt(uint64_t{60});
+      for (uint64_t i = 0; i < items; ++i) {
+        part.Update(rng.UniformDouble());
+        ++total;
+      }
+      merged.Merge(part);
+    }
+    ASSERT_EQ(merged.n(), total) << "trial " << trial;
+    ASSERT_EQ(merged.Rank(2.0), total) << "trial " << trial;
+    ASSERT_EQ(merged.Rank(-1.0), 0u) << "trial " << trial;
+  }
+}
+
+TEST(QuantileFuzzTest, MergeableQuantilesRankMonotoneAndBounded) {
+  Rng rng(202);
+  for (int trial = 0; trial < 500; ++trial) {
+    MergeableQuantiles sketch(32, 300 + static_cast<uint64_t>(trial));
+    const auto items = 1 + rng.UniformInt(uint64_t{400});
+    for (uint64_t i = 0; i < items; ++i) sketch.Update(rng.UniformDouble());
+    uint64_t previous = 0;
+    for (double x = 0.0; x <= 1.0; x += 0.1) {
+      const uint64_t rank = sketch.Rank(x);
+      ASSERT_GE(rank, previous) << "rank must be monotone";
+      ASSERT_LE(rank, sketch.n());
+      previous = rank;
+    }
+  }
+}
+
+TEST(QuantileFuzzTest, GkNeverViolatesItsBoundOnTinyStreams) {
+  Rng rng(203);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const double epsilon = 0.05 + 0.4 * rng.UniformDouble();
+    GkSummary gk(epsilon);
+    std::vector<double> values;
+    const auto items = 1 + rng.UniformInt(uint64_t{150});
+    for (uint64_t i = 0; i < items; ++i) {
+      // Mixed duplicates and fresh values.
+      const double v = rng.Bernoulli(0.3)
+                           ? std::floor(rng.UniformDouble() * 5.0)
+                           : rng.UniformDouble() * 100.0;
+      values.push_back(v);
+      gk.Update(v);
+    }
+    std::sort(values.begin(), values.end());
+    const double budget =
+        epsilon * static_cast<double>(values.size()) + 1.0;
+    for (size_t q = 0; q < values.size(); q += 7) {
+      const double x = values[q];
+      const auto exact = static_cast<double>(
+          std::upper_bound(values.begin(), values.end(), x) -
+          values.begin());
+      const auto approx = static_cast<double>(gk.Rank(x));
+      ASSERT_LE(std::abs(approx - exact), budget)
+          << "trial " << trial << " x " << x;
+    }
+  }
+}
+
+TEST(QuantileFuzzTest, QDigestRankWithinBoundOnTinyStreams) {
+  Rng rng(204);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int log_u = 4 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    const uint64_t k = 4 + rng.UniformInt(uint64_t{60});
+    QDigest digest(log_u, k);
+    std::vector<uint64_t> values;
+    const auto items = 1 + rng.UniformInt(uint64_t{300});
+    const uint64_t universe = uint64_t{1} << log_u;
+    for (uint64_t i = 0; i < items; ++i) {
+      const uint64_t v = rng.UniformInt(universe);
+      values.push_back(v);
+      digest.Update(v);
+    }
+    const uint64_t budget = digest.ErrorBound() + 1;
+    for (uint64_t x = 0; x < universe; x += std::max<uint64_t>(1, universe / 9)) {
+      uint64_t exact = 0;
+      for (uint64_t v : values) {
+        if (v <= x) ++exact;
+      }
+      const uint64_t approx = digest.Rank(x);
+      const uint64_t error =
+          approx > exact ? approx - exact : exact - approx;
+      ASSERT_LE(error, budget)
+          << "trial " << trial << " log_u " << log_u << " k " << k;
+    }
+  }
+}
+
+TEST(QuantileFuzzTest, QDigestMergeConservesWeight) {
+  Rng rng(205);
+  for (int trial = 0; trial < 800; ++trial) {
+    const int log_u = 4 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    const uint64_t k = 2 + rng.UniformInt(uint64_t{30});
+    QDigest merged(log_u, k);
+    uint64_t total = 0;
+    const auto parts = 1 + rng.UniformInt(uint64_t{4});
+    for (uint64_t p = 0; p < parts; ++p) {
+      QDigest part(log_u, k);
+      const auto items = rng.UniformInt(uint64_t{80});
+      for (uint64_t i = 0; i < items; ++i) {
+        part.Update(rng.UniformInt(uint64_t{1} << log_u));
+        ++total;
+      }
+      merged.Merge(part);
+    }
+    ASSERT_EQ(merged.n(), total);
+    ASSERT_EQ(merged.Rank((uint64_t{1} << log_u) - 1), total);
+  }
+}
+
+TEST(QuantileFuzzTest, ExactQuantilesSelfConsistency) {
+  Rng rng(206);
+  for (int trial = 0; trial < 500; ++trial) {
+    ExactQuantiles exact;
+    const auto items = 1 + rng.UniformInt(uint64_t{200});
+    for (uint64_t i = 0; i < items; ++i) {
+      exact.Update(rng.UniformDouble() * 10.0);
+    }
+    for (double phi = 0.05; phi < 1.0; phi += 0.2) {
+      const double value = exact.Quantile(phi);
+      // Rank of the phi-quantile covers at least ceil(phi * n).
+      const auto target = static_cast<uint64_t>(
+          std::ceil(phi * static_cast<double>(exact.n())));
+      ASSERT_GE(exact.Rank(value), target);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mergeable

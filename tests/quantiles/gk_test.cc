@@ -1,0 +1,152 @@
+#include "mergeable/quantiles/gk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/quantiles/exact_quantiles.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// Workloads that exercise different insertion orders.
+enum class Order { kRandom, kSorted, kReversed, kZigzag };
+
+std::vector<double> MakeValues(Order order, int n, uint64_t seed) {
+  std::vector<double> values(static_cast<size_t>(n));
+  Rng rng(seed);
+  switch (order) {
+    case Order::kRandom:
+      for (double& v : values) v = rng.UniformDouble();
+      break;
+    case Order::kSorted:
+      for (int i = 0; i < n; ++i) values[static_cast<size_t>(i)] = i;
+      break;
+    case Order::kReversed:
+      for (int i = 0; i < n; ++i) values[static_cast<size_t>(i)] = n - i;
+      break;
+    case Order::kZigzag:
+      for (int i = 0; i < n; ++i) {
+        values[static_cast<size_t>(i)] = (i % 2 == 0) ? i : n - i;
+      }
+      break;
+  }
+  return values;
+}
+
+class GkOrderTest : public ::testing::TestWithParam<Order> {};
+
+TEST_P(GkOrderTest, RankErrorWithinEpsilonN) {
+  constexpr double kEpsilon = 0.01;
+  constexpr int kN = 20000;
+  const auto values = MakeValues(GetParam(), kN, 41);
+
+  GkSummary gk(kEpsilon);
+  ExactQuantiles exact;
+  for (double v : values) {
+    gk.Update(v);
+    exact.Update(v);
+  }
+  ASSERT_EQ(gk.n(), static_cast<uint64_t>(kN));
+
+  Rng rng(42);
+  for (int q = 0; q < 200; ++q) {
+    const double x = exact.Quantile(rng.UniformDouble());
+    const auto approx = static_cast<double>(gk.Rank(x));
+    const auto truth = static_cast<double>(exact.Rank(x));
+    ASSERT_LE(std::abs(approx - truth), kEpsilon * kN)
+        << "query value " << x;
+  }
+}
+
+TEST_P(GkOrderTest, QuantileErrorWithinEpsilon) {
+  constexpr double kEpsilon = 0.01;
+  constexpr int kN = 20000;
+  const auto values = MakeValues(GetParam(), kN, 43);
+
+  GkSummary gk(kEpsilon);
+  ExactQuantiles exact;
+  for (double v : values) {
+    gk.Update(v);
+    exact.Update(v);
+  }
+
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double answer = gk.Quantile(phi);
+    const auto rank = static_cast<double>(exact.Rank(answer));
+    ASSERT_NEAR(rank, phi * kN, 2.0 * kEpsilon * kN + 1.0) << "phi " << phi;
+  }
+}
+
+TEST_P(GkOrderTest, SizeStaysFarBelowInput) {
+  constexpr double kEpsilon = 0.01;
+  constexpr int kN = 20000;
+  const auto values = MakeValues(GetParam(), kN, 44);
+  GkSummary gk(kEpsilon);
+  for (double v : values) gk.Update(v);
+  // O((1/eps) log(eps n)): generous allowance of 12/eps.
+  EXPECT_LT(gk.size(), static_cast<size_t>(12.0 / kEpsilon));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GkOrderTest,
+                         ::testing::Values(Order::kRandom, Order::kSorted,
+                                           Order::kReversed, Order::kZigzag),
+                         [](const ::testing::TestParamInfo<Order>& info) {
+                           switch (info.param) {
+                             case Order::kRandom:
+                               return "Random";
+                             case Order::kSorted:
+                               return "Sorted";
+                             case Order::kReversed:
+                               return "Reversed";
+                             case Order::kZigzag:
+                               return "Zigzag";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(GkTest, ExtremesAreExact) {
+  GkSummary gk(0.05);
+  for (int i = 1; i <= 1000; ++i) gk.Update(i);
+  EXPECT_EQ(gk.Rank(0.0), 0u);
+  EXPECT_EQ(gk.Rank(1000.0), 1000u);
+  EXPECT_DOUBLE_EQ(gk.Quantile(1.0), 1000.0);
+}
+
+TEST(GkTest, DuplicateHeavyValue) {
+  GkSummary gk(0.02);
+  for (int i = 0; i < 5000; ++i) gk.Update(7.0);
+  for (int i = 0; i < 5000; ++i) gk.Update(9.0);
+  EXPECT_NEAR(static_cast<double>(gk.Rank(7.0)), 5000.0, 0.02 * 10000);
+  EXPECT_NEAR(static_cast<double>(gk.Rank(8.0)), 5000.0, 0.02 * 10000);
+  EXPECT_EQ(gk.Rank(9.0), 10000u);
+}
+
+TEST(GkTest, AbsorbOneWayCoversBothInputs) {
+  GkSummary a(0.02);
+  GkSummary b(0.02);
+  for (int i = 0; i < 5000; ++i) a.Update(i);               // [0, 5000)
+  for (int i = 5000; i < 10000; ++i) b.Update(i);           // [5000, 10000)
+  a.AbsorbOneWay(b);
+  EXPECT_EQ(a.n(), 10000u);
+  // Median of the union is ~5000.
+  const double median = a.Quantile(0.5);
+  EXPECT_NEAR(median, 5000.0, 3.0 * 0.02 * 10000);
+}
+
+TEST(GkDeathTest, RejectsBadEpsilon) {
+  EXPECT_DEATH(GkSummary(0.0), "epsilon");
+  EXPECT_DEATH(GkSummary(0.6), "epsilon");
+}
+
+TEST(GkDeathTest, QuantileOfEmptyAborts) {
+  GkSummary gk(0.1);
+  EXPECT_DEATH(gk.Quantile(0.5), "empty");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,249 @@
+#include "mergeable/quantiles/mergeable_quantiles.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/quantiles/exact_quantiles.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+constexpr int kBufferSize = 256;
+
+double MaxRankError(const MergeableQuantiles& sketch,
+                    const ExactQuantiles& exact, int queries, uint64_t seed) {
+  Rng rng(seed);
+  double worst = 0.0;
+  for (int q = 0; q < queries; ++q) {
+    const double x = exact.Quantile(rng.UniformDouble());
+    const auto approx = static_cast<double>(sketch.Rank(x));
+    const auto truth = static_cast<double>(exact.Rank(x));
+    worst = std::max(worst, std::abs(approx - truth));
+  }
+  return worst;
+}
+
+TEST(MergeableQuantilesTest, SmallStreamIsExact) {
+  MergeableQuantiles sketch(kBufferSize, /*seed=*/1);
+  for (int i = 1; i <= 100; ++i) sketch.Update(i);
+  // Below one buffer, nothing was compacted.
+  EXPECT_EQ(sketch.Compactions(), 0u);
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_EQ(sketch.Rank(i), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(MergeableQuantilesTest, WeightIsConservedThroughCompactions) {
+  MergeableQuantiles sketch(64, 2);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) sketch.Update(rng.UniformDouble());
+  EXPECT_EQ(sketch.n(), 100000u);
+  EXPECT_GT(sketch.Compactions(), 0u);
+  // Rank of +inf equals n: no weight was lost.
+  EXPECT_EQ(sketch.Rank(2.0), 100000u);
+  // Rank of -inf is zero.
+  EXPECT_EQ(sketch.Rank(-1.0), 0u);
+}
+
+TEST(MergeableQuantilesTest, SpaceStaysLogarithmic) {
+  MergeableQuantiles sketch(kBufferSize, 4);
+  Rng rng(5);
+  for (int i = 0; i < 200000; ++i) sketch.Update(rng.UniformDouble());
+  // levels ~ log2(n / b), each < b values.
+  const double levels =
+      std::log2(200000.0 / kBufferSize) + 2.0;
+  EXPECT_LT(sketch.StoredValues(),
+            static_cast<size_t>(levels * kBufferSize));
+}
+
+TEST(MergeableQuantilesTest, StreamingRankErrorSmall) {
+  MergeableQuantiles sketch(kBufferSize, 6);
+  ExactQuantiles exact;
+  Rng rng(7);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.UniformDouble();
+    sketch.Update(v);
+    exact.Update(v);
+  }
+  // b = 256 targets roughly eps ~ sqrt(log)/b; allow 4%o of n.
+  EXPECT_LT(MaxRankError(sketch, exact, 200, 8), 0.02 * kN);
+}
+
+TEST(MergeableQuantilesTest, MergedSketchKeepsRankError) {
+  constexpr int kShards = 16;
+  constexpr int kPerShard = 8000;
+  ExactQuantiles exact;
+  std::vector<MergeableQuantiles> parts;
+  Rng rng(9);
+  for (int s = 0; s < kShards; ++s) {
+    MergeableQuantiles sketch(kBufferSize, 100 + static_cast<uint64_t>(s));
+    for (int i = 0; i < kPerShard; ++i) {
+      // Shards see disjoint value ranges: the adversarial layout for
+      // naive subsampling.
+      const double v = s + rng.UniformDouble();
+      sketch.Update(v);
+      exact.Update(v);
+    }
+    parts.push_back(std::move(sketch));
+  }
+  MergeableQuantiles merged =
+      MergeAll(std::move(parts), MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n(), static_cast<uint64_t>(kShards) * kPerShard);
+  EXPECT_LT(MaxRankError(merged, exact, 200, 10),
+            0.02 * kShards * kPerShard);
+}
+
+class MergeTopologyQuantileTest
+    : public ::testing::TestWithParam<MergeTopology> {};
+
+TEST_P(MergeTopologyQuantileTest, ErrorIndependentOfMergeTree) {
+  constexpr int kShards = 32;
+  constexpr int kPerShard = 4000;
+  ExactQuantiles exact;
+  std::vector<MergeableQuantiles> parts;
+  Rng data_rng(11);
+  for (int s = 0; s < kShards; ++s) {
+    MergeableQuantiles sketch(kBufferSize, 200 + static_cast<uint64_t>(s));
+    for (int i = 0; i < kPerShard; ++i) {
+      const double v = data_rng.UniformDouble();
+      sketch.Update(v);
+      exact.Update(v);
+    }
+    parts.push_back(std::move(sketch));
+  }
+  Rng topo_rng(12);
+  MergeableQuantiles merged =
+      MergeAll(std::move(parts), GetParam(), &topo_rng);
+  EXPECT_EQ(merged.n(), static_cast<uint64_t>(kShards) * kPerShard);
+  EXPECT_LT(MaxRankError(merged, exact, 200, 13),
+            0.02 * kShards * kPerShard);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MergeTopologyQuantileTest,
+    ::testing::Values(MergeTopology::kLeftDeepChain,
+                      MergeTopology::kBalancedTree,
+                      MergeTopology::kRandomTree),
+    [](const ::testing::TestParamInfo<MergeTopology>& info) {
+      return ToString(info.param);
+    });
+
+TEST(MergeableQuantilesTest, QuantileAndRankAreConsistent) {
+  MergeableQuantiles sketch(kBufferSize, 14);
+  Rng rng(15);
+  for (int i = 0; i < 50000; ++i) sketch.Update(rng.UniformDouble());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const double value = sketch.Quantile(phi);
+    const auto rank = static_cast<double>(sketch.Rank(value));
+    EXPECT_NEAR(rank / 50000.0, phi, 0.03) << "phi " << phi;
+  }
+}
+
+TEST(MergeableQuantilesTest, ForEpsilonMeetsItsTarget) {
+  constexpr double kEpsilon = 0.02;
+  MergeableQuantiles sketch = MergeableQuantiles::ForEpsilon(kEpsilon, 16);
+  ExactQuantiles exact;
+  Rng rng(17);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.UniformDouble();
+    sketch.Update(v);
+    exact.Update(v);
+  }
+  EXPECT_LT(MaxRankError(sketch, exact, 200, 18), kEpsilon * kN);
+}
+
+TEST(MergeableQuantilesTest, OddBufferSizeRoundsUpToEven) {
+  MergeableQuantiles sketch(7, 19);
+  EXPECT_EQ(sketch.buffer_size(), 8);
+}
+
+TEST(MergeableQuantilesTest, DeterministicPolicyStillConservesWeight) {
+  MergeableQuantiles sketch(64, 20, OffsetPolicy::kAlwaysLow);
+  for (int i = 0; i < 10000; ++i) sketch.Update(i);
+  EXPECT_EQ(sketch.Rank(1e9), 10000u);
+}
+
+TEST(MergeableQuantilesTest, RandomBeatsDeterministicOnDeepTrees) {
+  // The paper's core claim (E3): with a deep merge tree, the random
+  // offset keeps errors like a random walk while the deterministic
+  // offset drifts linearly. Compare worst rank error over quantiles.
+  constexpr int kShards = 64;
+  constexpr int kPerShard = 2000;
+  const auto run = [&](OffsetPolicy policy) {
+    ExactQuantiles exact;
+    std::vector<MergeableQuantiles> parts;
+    Rng rng(21);
+    for (int s = 0; s < kShards; ++s) {
+      MergeableQuantiles sketch(64, 300 + static_cast<uint64_t>(s), policy);
+      for (int i = 0; i < kPerShard; ++i) {
+        const double v = rng.UniformDouble();
+        sketch.Update(v);
+        exact.Update(v);
+      }
+      parts.push_back(std::move(sketch));
+    }
+    MergeableQuantiles merged =
+        MergeAll(std::move(parts), MergeTopology::kLeftDeepChain);
+    return MaxRankError(merged, exact, 100, 22);
+  };
+  const double random_error = run(OffsetPolicy::kRandom);
+  const double deterministic_error = run(OffsetPolicy::kAlwaysLow);
+  EXPECT_LT(random_error, deterministic_error);
+}
+
+TEST(MergeableQuantilesTest, WeightedUpdateMatchesRepeated) {
+  MergeableQuantiles weighted(64, 30);
+  MergeableQuantiles repeated(64, 31);
+  Rng rng(32);
+  for (int i = 0; i < 500; ++i) {
+    const double value = rng.UniformDouble();
+    const uint64_t weight = 1 + rng.UniformInt(uint64_t{37});
+    weighted.UpdateWeighted(value, weight);
+    for (uint64_t j = 0; j < weight; ++j) repeated.Update(value);
+  }
+  EXPECT_EQ(weighted.n(), repeated.n());
+  // Both carry the same guarantee; ranks agree within the error budget.
+  EXPECT_EQ(weighted.Rank(2.0), repeated.Rank(2.0));  // Total weight.
+  for (double x : {0.25, 0.5, 0.75}) {
+    const auto a = static_cast<double>(weighted.Rank(x));
+    const auto b = static_cast<double>(repeated.Rank(x));
+    EXPECT_NEAR(a, b, 0.05 * static_cast<double>(weighted.n())) << x;
+  }
+}
+
+TEST(MergeableQuantilesTest, WeightedZeroIsNoOp) {
+  MergeableQuantiles sketch(64, 33);
+  sketch.UpdateWeighted(1.0, 0);
+  EXPECT_EQ(sketch.n(), 0u);
+}
+
+TEST(MergeableQuantilesTest, LargeSingleWeight) {
+  MergeableQuantiles sketch(64, 34);
+  sketch.UpdateWeighted(5.0, 1u << 20);
+  sketch.UpdateWeighted(10.0, 1u << 20);
+  EXPECT_EQ(sketch.n(), 2u << 20);
+  EXPECT_EQ(sketch.Rank(7.5), 1u << 20);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.95), 10.0);
+}
+
+TEST(MergeableQuantilesDeathTest, InvalidParameters) {
+  EXPECT_DEATH(MergeableQuantiles(1, 0), "buffer_size");
+  EXPECT_DEATH(MergeableQuantiles::ForEpsilon(0.0, 0), "epsilon");
+}
+
+TEST(MergeableQuantilesDeathTest, MergeRequiresEqualBufferSize) {
+  MergeableQuantiles a(64, 1);
+  MergeableQuantiles b(128, 2);
+  EXPECT_DEATH(a.Merge(b), "different buffer sizes");
+}
+
+}  // namespace
+}  // namespace mergeable

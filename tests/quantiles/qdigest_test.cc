@@ -1,0 +1,188 @@
+#include "mergeable/quantiles/qdigest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// Exact rank over raw values: |{ y : y <= x }|.
+uint64_t ExactRank(const std::vector<uint64_t>& values, uint64_t x) {
+  uint64_t rank = 0;
+  for (uint64_t v : values) {
+    if (v <= x) ++rank;
+  }
+  return rank;
+}
+
+TEST(QDigestTest, SmallStreamExactRanks) {
+  QDigest digest(8, 1000);  // Threshold n/k = 0: no folding happens.
+  for (uint64_t v : {5u, 5u, 9u, 200u}) digest.Update(v);
+  EXPECT_EQ(digest.n(), 4u);
+  EXPECT_EQ(digest.Rank(4), 0u);
+  EXPECT_EQ(digest.Rank(5), 2u);
+  EXPECT_EQ(digest.Rank(9), 3u);
+  EXPECT_EQ(digest.Rank(255), 4u);
+}
+
+TEST(QDigestTest, WeightedUpdates) {
+  QDigest digest(8, 1000);
+  digest.Update(10, 7);
+  digest.Update(20, 3);
+  EXPECT_EQ(digest.n(), 10u);
+  EXPECT_EQ(digest.Rank(15), 7u);
+}
+
+TEST(QDigestTest, RankErrorWithinBound) {
+  constexpr int kLogU = 16;
+  constexpr uint64_t kN = 100000;
+  QDigest digest = QDigest::ForEpsilon(0.02, kLogU);
+  std::vector<uint64_t> values;
+  Rng rng(1);
+  for (uint64_t i = 0; i < kN; ++i) {
+    // Skewed values: squares concentrate in the low range.
+    const uint64_t r = rng.UniformInt(uint64_t{1} << (kLogU / 2));
+    const uint64_t v = r * r % (uint64_t{1} << kLogU);
+    values.push_back(v);
+    digest.Update(v);
+  }
+  for (uint64_t x : {0ull, 100ull, 5000ull, 20000ull, 65535ull}) {
+    const auto approx = static_cast<double>(digest.Rank(x));
+    const auto exact = static_cast<double>(ExactRank(values, x));
+    ASSERT_LE(std::abs(approx - exact), 0.02 * kN) << "x = " << x;
+  }
+}
+
+TEST(QDigestTest, QuantileErrorWithinBound) {
+  constexpr int kLogU = 16;
+  constexpr uint64_t kN = 100000;
+  QDigest digest = QDigest::ForEpsilon(0.02, kLogU);
+  std::vector<uint64_t> values;
+  Rng rng(2);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{1} << kLogU);
+    values.push_back(v);
+    digest.Update(v);
+  }
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    const uint64_t answer = digest.Quantile(phi);
+    const auto rank = static_cast<double>(ExactRank(values, answer));
+    ASSERT_NEAR(rank, phi * static_cast<double>(kN), 2.5 * 0.02 * kN)
+        << "phi = " << phi;
+  }
+}
+
+TEST(QDigestTest, SizeStaysBounded) {
+  QDigest digest = QDigest::ForEpsilon(0.01, 20);
+  Rng rng(3);
+  for (int i = 0; i < 300000; ++i) {
+    digest.Update(rng.UniformInt(uint64_t{1} << 20));
+  }
+  // Theory: O(k) = O(log_u / eps) nodes after compression; allow 3k + margin.
+  EXPECT_LT(digest.size(), 3 * digest.k() + 64);
+}
+
+TEST(QDigestTest, WeightConservedThroughCompression) {
+  QDigest digest(12, 16);  // Aggressive folding.
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) digest.Update(rng.UniformInt(uint64_t{4096}));
+  EXPECT_EQ(digest.n(), 50000u);
+  EXPECT_EQ(digest.Rank(4095), 50000u);
+}
+
+TEST(QDigestTest, MergeMatchesCombinedStream) {
+  constexpr int kLogU = 14;
+  constexpr int kShards = 16;
+  std::vector<uint64_t> all;
+  std::vector<QDigest> parts;
+  Rng rng(5);
+  for (int s = 0; s < kShards; ++s) {
+    QDigest digest = QDigest::ForEpsilon(0.02, kLogU);
+    for (int i = 0; i < 8000; ++i) {
+      // Disjoint ranges per shard.
+      const uint64_t v =
+          (static_cast<uint64_t>(s) << (kLogU - 4)) +
+          rng.UniformInt(uint64_t{1} << (kLogU - 4));
+      all.push_back(v);
+      digest.Update(v);
+    }
+    parts.push_back(std::move(digest));
+  }
+  const QDigest merged =
+      MergeAll(std::move(parts), MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n(), all.size());
+  const double n = static_cast<double>(all.size());
+  for (uint64_t x = 0; x < (uint64_t{1} << kLogU); x += 1 << (kLogU - 5)) {
+    const auto approx = static_cast<double>(merged.Rank(x));
+    const auto exact = static_cast<double>(ExactRank(all, x));
+    ASSERT_LE(std::abs(approx - exact), 0.02 * n) << "x = " << x;
+  }
+}
+
+TEST(QDigestTest, MergeIsOrderInsensitiveOnErrorBound) {
+  // Merge the same parts in chain vs balanced order; both must respect
+  // the bound (results may differ, the guarantee may not).
+  constexpr int kLogU = 12;
+  std::vector<uint64_t> all;
+  std::vector<QDigest> parts_a;
+  std::vector<QDigest> parts_b;
+  Rng rng(6);
+  for (int s = 0; s < 8; ++s) {
+    QDigest digest = QDigest::ForEpsilon(0.05, kLogU);
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t v = rng.UniformInt(uint64_t{1} << kLogU);
+      all.push_back(v);
+      digest.Update(v);
+    }
+    parts_a.push_back(digest);
+    parts_b.push_back(digest);
+  }
+  const QDigest chain =
+      MergeAll(std::move(parts_a), MergeTopology::kLeftDeepChain);
+  const QDigest balanced =
+      MergeAll(std::move(parts_b), MergeTopology::kBalancedTree);
+  const double n = static_cast<double>(all.size());
+  for (uint64_t x = 0; x < (uint64_t{1} << kLogU); x += 256) {
+    const auto exact = static_cast<double>(ExactRank(all, x));
+    ASSERT_LE(std::abs(static_cast<double>(chain.Rank(x)) - exact), 0.05 * n);
+    ASSERT_LE(std::abs(static_cast<double>(balanced.Rank(x)) - exact),
+              0.05 * n);
+  }
+}
+
+TEST(QDigestTest, ErrorBoundFormula) {
+  QDigest digest(16, 800);
+  for (int i = 0; i < 8000; ++i) digest.Update(static_cast<uint64_t>(i % 100));
+  EXPECT_EQ(digest.ErrorBound(), 16u * (8000u / 800u));
+}
+
+TEST(QDigestDeathTest, InvalidParameters) {
+  EXPECT_DEATH(QDigest(0, 10), "log_universe");
+  EXPECT_DEATH(QDigest(33, 10), "log_universe");
+  EXPECT_DEATH(QDigest(8, 0), "k must be");
+  EXPECT_DEATH(QDigest::ForEpsilon(0.0, 8), "epsilon");
+}
+
+TEST(QDigestDeathTest, ValueOutsideUniverse) {
+  QDigest digest(8, 10);
+  EXPECT_DEATH(digest.Update(256), "universe");
+}
+
+TEST(QDigestDeathTest, MergeRequiresIdenticalConfig) {
+  QDigest a(8, 10);
+  QDigest b(9, 10);
+  EXPECT_DEATH(a.Merge(b), "identical universe");
+  QDigest c(8, 20);
+  EXPECT_DEATH(a.Merge(c), "identical universe");
+}
+
+}  // namespace
+}  // namespace mergeable

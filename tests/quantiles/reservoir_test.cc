@@ -1,0 +1,122 @@
+#include "mergeable/quantiles/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  ReservoirSample sample(10, 1);
+  for (int i = 0; i < 7; ++i) sample.Update(i);
+  EXPECT_EQ(sample.n(), 7u);
+  EXPECT_EQ(sample.size(), 7u);
+  std::vector<double> values = sample.values();
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(values[i], i);
+}
+
+TEST(ReservoirTest, CapsAtSampleSize) {
+  ReservoirSample sample(16, 2);
+  for (int i = 0; i < 10000; ++i) sample.Update(i);
+  EXPECT_EQ(sample.n(), 10000u);
+  EXPECT_EQ(sample.size(), 16u);
+}
+
+TEST(ReservoirTest, InclusionProbabilityIsUniform) {
+  // Every element should land in the final sample with probability s/n.
+  constexpr int kTrials = 3000;
+  constexpr int kN = 50;
+  constexpr int kS = 10;
+  std::vector<int> hits(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSample sample(kS, static_cast<uint64_t>(t) + 1);
+    for (int i = 0; i < kN; ++i) sample.Update(i);
+    for (double v : sample.values()) ++hits[static_cast<size_t>(v)];
+  }
+  const double expected = kTrials * static_cast<double>(kS) / kN;  // 600
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(hits[static_cast<size_t>(i)], expected, expected * 0.25)
+        << "element " << i;
+  }
+}
+
+TEST(ReservoirTest, MergeTracksPopulationSize) {
+  ReservoirSample a(8, 3);
+  ReservoirSample b(8, 4);
+  for (int i = 0; i < 100; ++i) a.Update(i);
+  for (int i = 0; i < 300; ++i) b.Update(i);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 400u);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(ReservoirTest, MergeOfPartialReservoirs) {
+  ReservoirSample a(10, 5);
+  ReservoirSample b(10, 6);
+  a.Update(1.0);
+  a.Update(2.0);
+  b.Update(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.n(), 3u);
+  EXPECT_EQ(a.size(), 3u);
+  std::vector<double> values = a.values();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ReservoirTest, MergeInclusionStaysProportional) {
+  // Merge a small population into a big one: the small side should
+  // contribute ~ s * nB / (nA + nB) elements on average.
+  constexpr int kTrials = 2000;
+  constexpr int kS = 10;
+  double small_side_total = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSample a(kS, 2 * static_cast<uint64_t>(t) + 1);
+    ReservoirSample b(kS, 2 * static_cast<uint64_t>(t) + 2);
+    for (int i = 0; i < 900; ++i) a.Update(0.0);  // Population A: value 0.
+    for (int i = 0; i < 100; ++i) b.Update(1.0);  // Population B: value 1.
+    a.Merge(b);
+    for (double v : a.values()) small_side_total += v;
+  }
+  const double mean_from_b = small_side_total / kTrials;
+  EXPECT_NEAR(mean_from_b, kS * 0.1, 0.15);
+}
+
+TEST(ReservoirTest, RankScalesToPopulation) {
+  ReservoirSample sample(500, 7);
+  for (int i = 0; i < 100000; ++i) {
+    sample.Update(static_cast<double>(i % 1000));
+  }
+  // Value 499.5 splits the population in half.
+  const double rank = static_cast<double>(sample.Rank(499.5));
+  EXPECT_NEAR(rank, 50000.0, 10000.0);
+}
+
+TEST(ReservoirTest, QuantileFromSample) {
+  ReservoirSample sample(1000, 8);
+  for (int i = 1; i <= 100000; ++i) sample.Update(i);
+  EXPECT_NEAR(sample.Quantile(0.5), 50000.0, 8000.0);
+}
+
+TEST(ReservoirDeathTest, InvalidParameters) {
+  EXPECT_DEATH(ReservoirSample(0, 1), "sample_size");
+}
+
+TEST(ReservoirDeathTest, MergeRequiresEqualSampleSize) {
+  ReservoirSample a(4, 1);
+  ReservoirSample b(5, 2);
+  EXPECT_DEATH(a.Merge(b), "different sizes");
+}
+
+TEST(ReservoirDeathTest, QuantileOfEmptyAborts) {
+  ReservoirSample sample(4, 1);
+  EXPECT_DEATH(sample.Quantile(0.5), "empty");
+}
+
+}  // namespace
+}  // namespace mergeable

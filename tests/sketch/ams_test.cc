@@ -1,0 +1,103 @@
+#include "mergeable/sketch/ams.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint64_t> TestStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 30000;
+  spec.universe = 2048;
+  return GenerateStream(spec, seed);
+}
+
+double ExactF2(const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  double f2 = 0.0;
+  for (const auto& [item, count] : counts) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  return f2;
+}
+
+TEST(AmsTest, SingleItemStream) {
+  AmsSketch sketch(5, 16, 1);
+  for (int i = 0; i < 100; ++i) sketch.Update(7);
+  // F2 of 100 copies of one item is 100^2; each cell holds +-100 so the
+  // estimate is exact.
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 10000.0);
+}
+
+TEST(AmsTest, RelativeErrorSmallWithEnoughCells) {
+  const auto stream = TestStream(71);
+  const double truth = ExactF2(stream);
+  AmsSketch sketch(5, 256, 2);
+  for (uint64_t item : stream) sketch.Update(item);
+  EXPECT_NEAR(sketch.EstimateF2() / truth, 1.0, 0.25);
+}
+
+TEST(AmsTest, MedianOfMeansIsStableAcrossSeeds) {
+  const auto stream = TestStream(72);
+  const double truth = ExactF2(stream);
+  int good = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    AmsSketch sketch(5, 128, static_cast<uint64_t>(seed) + 50);
+    for (uint64_t item : stream) sketch.Update(item);
+    if (std::abs(sketch.EstimateF2() / truth - 1.0) < 0.4) ++good;
+  }
+  EXPECT_GE(good, 8);
+}
+
+TEST(AmsTest, MergeEqualsSinglePassExactly) {
+  const auto stream = TestStream(73);
+  const auto shards = PartitionStream(stream, 6, PartitionPolicy::kRandom, 3);
+
+  AmsSketch single(5, 64, 9);
+  for (uint64_t item : stream) single.Update(item);
+
+  AmsSketch merged(5, 64, 9);
+  bool first = true;
+  for (const auto& shard : shards) {
+    AmsSketch part(5, 64, 9);
+    for (uint64_t item : shard) part.Update(item);
+    if (first) {
+      merged = part;
+      first = false;
+    } else {
+      merged.Merge(part);
+    }
+  }
+  EXPECT_DOUBLE_EQ(merged.EstimateF2(), single.EstimateF2());
+}
+
+TEST(AmsTest, NegativeWeightsCancel) {
+  AmsSketch sketch(3, 16, 4);
+  sketch.Update(11, 5);
+  sketch.Update(11, -5);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+}
+
+TEST(AmsDeathTest, InvalidParameters) {
+  EXPECT_DEATH(AmsSketch(0, 8, 1), "rows");
+  EXPECT_DEATH(AmsSketch(3, 0, 1), "cols");
+}
+
+TEST(AmsDeathTest, MergeRequiresIdenticalConfig) {
+  AmsSketch a(3, 16, 1);
+  AmsSketch b(3, 16, 2);
+  EXPECT_DEATH(a.Merge(b), "identical shape and seed");
+}
+
+}  // namespace
+}  // namespace mergeable

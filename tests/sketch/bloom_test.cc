@@ -1,0 +1,90 @@
+#include "mergeable/sketch/bloom.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1024, 3, 1);
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_FALSE(filter.MayContain(item));
+  }
+  EXPECT_DOUBLE_EQ(filter.EstimatedFpr(), 0.0);
+}
+
+TEST(BloomTest, NoFalseNegativesEver) {
+  BloomFilter filter = BloomFilter::ForExpectedItems(5000, 0.01, 2);
+  for (uint64_t item = 0; item < 5000; ++item) filter.Add(item * 7919);
+  for (uint64_t item = 0; item < 5000; ++item) {
+    ASSERT_TRUE(filter.MayContain(item * 7919)) << "item " << item;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTarget) {
+  constexpr double kTargetFpr = 0.01;
+  BloomFilter filter = BloomFilter::ForExpectedItems(10000, kTargetFpr, 3);
+  for (uint64_t item = 0; item < 10000; ++item) filter.Add(item);
+
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (uint64_t probe = 0; probe < kProbes; ++probe) {
+    if (filter.MayContain(1000000 + probe)) ++false_positives;
+  }
+  const double measured = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(measured, 3.0 * kTargetFpr);
+  EXPECT_NEAR(filter.EstimatedFpr(), measured, 0.01);
+}
+
+TEST(BloomTest, MergeIsUnion) {
+  BloomFilter a(4096, 4, 5);
+  BloomFilter b(4096, 4, 5);
+  for (uint64_t item = 0; item < 200; ++item) a.Add(item);
+  for (uint64_t item = 200; item < 400; ++item) b.Add(item);
+  a.Merge(b);
+  EXPECT_EQ(a.added(), 400u);
+  for (uint64_t item = 0; item < 400; ++item) {
+    ASSERT_TRUE(a.MayContain(item)) << "item " << item;
+  }
+}
+
+TEST(BloomTest, MergedFilterEqualsSinglePassBitwise) {
+  // OR-merge is exact: membership answers must match a single-pass
+  // filter for every probe.
+  BloomFilter single(2048, 3, 7);
+  BloomFilter left(2048, 3, 7);
+  BloomFilter right(2048, 3, 7);
+  for (uint64_t item = 0; item < 300; ++item) {
+    single.Add(item);
+    (item % 2 == 0 ? left : right).Add(item);
+  }
+  left.Merge(right);
+  for (uint64_t probe = 0; probe < 2000; ++probe) {
+    ASSERT_EQ(left.MayContain(probe), single.MayContain(probe))
+        << "probe " << probe;
+  }
+}
+
+TEST(BloomTest, ForExpectedItemsPicksSaneShape) {
+  const BloomFilter filter = BloomFilter::ForExpectedItems(1000, 0.01, 1);
+  // Theory: m ~ 9585 bits, k ~ 7 hashes.
+  EXPECT_NEAR(static_cast<double>(filter.bits()), 9585.0, 50.0);
+  EXPECT_EQ(filter.hashes(), 7);
+}
+
+TEST(BloomDeathTest, InvalidParameters) {
+  EXPECT_DEATH(BloomFilter(4, 2, 1), "8 bits");
+  EXPECT_DEATH(BloomFilter(64, 0, 1), "one hash");
+  EXPECT_DEATH(BloomFilter::ForExpectedItems(10, 1.5, 1), "fpr");
+}
+
+TEST(BloomDeathTest, MergeRequiresIdenticalConfig) {
+  BloomFilter a(1024, 3, 1);
+  BloomFilter b(1024, 3, 2);
+  EXPECT_DEATH(a.Merge(b), "identical parameters");
+}
+
+}  // namespace
+}  // namespace mergeable

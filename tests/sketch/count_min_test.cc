@@ -1,0 +1,152 @@
+#include "mergeable/sketch/count_min.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::map<uint64_t, uint64_t> TrueCounts(const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  return counts;
+}
+
+std::vector<uint64_t> TestStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 40000;
+  spec.universe = 4096;
+  return GenerateStream(spec, seed);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  const auto stream = TestStream(51);
+  CountMinSketch sketch(4, 256, /*seed=*/1);
+  for (uint64_t item : stream) sketch.Update(item);
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    ASSERT_GE(sketch.Estimate(item), count) << "item " << item;
+  }
+}
+
+TEST(CountMinTest, EpsilonBoundHoldsForMostItems) {
+  const auto stream = TestStream(52);
+  constexpr double kEpsilon = 0.005;
+  constexpr double kDelta = 0.01;
+  CountMinSketch sketch =
+      CountMinSketch::ForEpsilonDelta(kEpsilon, kDelta, /*seed=*/2);
+  for (uint64_t item : stream) sketch.Update(item);
+
+  const auto truth = TrueCounts(stream);
+  int violations = 0;
+  for (const auto& [item, count] : truth) {
+    if (sketch.Estimate(item) > count + kEpsilon * stream.size()) {
+      ++violations;
+    }
+  }
+  // Expected failure rate <= delta per item.
+  EXPECT_LE(violations, static_cast<int>(3 * kDelta * truth.size() + 3));
+}
+
+TEST(CountMinTest, WeightedUpdates) {
+  CountMinSketch sketch(4, 64, 3);
+  sketch.Update(7, 100);
+  sketch.Update(9, 50);
+  EXPECT_GE(sketch.Estimate(7), 100u);
+  EXPECT_EQ(sketch.n(), 150u);
+}
+
+TEST(CountMinTest, MergeEqualsSinglePassExactly) {
+  // A plain Count-Min sketch is a linear function of the input, so the
+  // merged sketch must match the single-pass sketch counter for counter
+  // (checked via estimates for every item in the stream).
+  const auto stream = TestStream(53);
+  const auto shards = PartitionStream(stream, 8, PartitionPolicy::kRandom, 5);
+
+  CountMinSketch single(5, 512, /*seed=*/7);
+  for (uint64_t item : stream) single.Update(item);
+
+  CountMinSketch merged(5, 512, /*seed=*/7);
+  {
+    bool first = true;
+    for (const auto& shard : shards) {
+      CountMinSketch part(5, 512, /*seed=*/7);
+      for (uint64_t item : shard) part.Update(item);
+      if (first) {
+        merged = part;
+        first = false;
+      } else {
+        merged.Merge(part);
+      }
+    }
+  }
+  EXPECT_EQ(merged.n(), single.n());
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    ASSERT_EQ(merged.Estimate(item), single.Estimate(item))
+        << "item " << item;
+  }
+}
+
+TEST(CountMinTest, ConservativeIsAtMostPlain) {
+  const auto stream = TestStream(54);
+  CountMinSketch plain(4, 128, 9, CountMinUpdate::kPlain);
+  CountMinSketch conservative(4, 128, 9, CountMinUpdate::kConservative);
+  for (uint64_t item : stream) {
+    plain.Update(item);
+    conservative.Update(item);
+  }
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    ASSERT_LE(conservative.Estimate(item), plain.Estimate(item));
+    ASSERT_GE(conservative.Estimate(item), count);
+  }
+}
+
+TEST(CountMinTest, MergedConservativeSketchesStayUpperBounds) {
+  const auto stream = TestStream(55);
+  const auto shards =
+      PartitionStream(stream, 4, PartitionPolicy::kContiguous);
+  CountMinSketch merged(4, 128, 11, CountMinUpdate::kConservative);
+  bool first = true;
+  for (const auto& shard : shards) {
+    CountMinSketch part(4, 128, 11, CountMinUpdate::kConservative);
+    for (uint64_t item : shard) part.Update(item);
+    if (first) {
+      merged = part;
+      first = false;
+    } else {
+      merged.Merge(part);
+    }
+  }
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    ASSERT_GE(merged.Estimate(item), count) << "item " << item;
+  }
+}
+
+TEST(CountMinTest, ForEpsilonDeltaShape) {
+  const CountMinSketch sketch = CountMinSketch::ForEpsilonDelta(0.01, 0.01, 1);
+  EXPECT_GE(sketch.width(), 271);  // e / 0.01 ~ 271.8
+  EXPECT_GE(sketch.depth(), 5);    // ln(100) ~ 4.6
+}
+
+TEST(CountMinDeathTest, InvalidParameters) {
+  EXPECT_DEATH(CountMinSketch(0, 8, 1), "depth");
+  EXPECT_DEATH(CountMinSketch(2, 0, 1), "width");
+  EXPECT_DEATH(CountMinSketch::ForEpsilonDelta(0.0, 0.1, 1), "epsilon");
+}
+
+TEST(CountMinDeathTest, MergeRequiresIdenticalConfig) {
+  CountMinSketch a(4, 64, 1);
+  CountMinSketch b(4, 64, 2);  // Different seed.
+  EXPECT_DEATH(a.Merge(b), "identical shape and seed");
+  CountMinSketch c(4, 128, 1);  // Different width.
+  EXPECT_DEATH(a.Merge(c), "identical shape and seed");
+}
+
+}  // namespace
+}  // namespace mergeable

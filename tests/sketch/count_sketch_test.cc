@@ -1,0 +1,126 @@
+#include "mergeable/sketch/count_sketch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+#include "mergeable/stream/partition.h"
+
+namespace mergeable {
+namespace {
+
+std::map<uint64_t, uint64_t> TrueCounts(const std::vector<uint64_t>& stream) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : stream) ++counts[item];
+  return counts;
+}
+
+std::vector<uint64_t> TestStream(uint64_t seed) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 40000;
+  spec.universe = 4096;
+  return GenerateStream(spec, seed);
+}
+
+double StreamF2(const std::vector<uint64_t>& stream) {
+  double f2 = 0.0;
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  return f2;
+}
+
+TEST(CountSketchTest, SingleItemExact) {
+  CountSketch sketch(5, 64, 1);
+  sketch.Update(42, 17);
+  EXPECT_EQ(sketch.Estimate(42), 17);
+}
+
+TEST(CountSketchTest, ErrorWithinSqrtF2Budget) {
+  const auto stream = TestStream(61);
+  CountSketch sketch(5, 1024, 2);
+  for (uint64_t item : stream) sketch.Update(item);
+
+  // Per-row stddev ~ sqrt(F2 / width); median of 5 rows concentrates.
+  const double budget = 6.0 * std::sqrt(StreamF2(stream) / 1024.0);
+  const auto truth = TrueCounts(stream);
+  int violations = 0;
+  for (const auto& [item, count] : truth) {
+    const double error =
+        std::abs(static_cast<double>(sketch.Estimate(item)) -
+                 static_cast<double>(count));
+    if (error > budget) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 100 + 2));
+}
+
+TEST(CountSketchTest, EstimatesAreNearlyUnbiased) {
+  // Averaged over many sketch seeds, the estimate of a fixed item should
+  // approach its true count (Count-Min, by contrast, is biased upward).
+  const auto stream = TestStream(62);
+  const auto truth = TrueCounts(stream);
+  const uint64_t target = truth.begin()->first;
+  const auto target_count = static_cast<double>(truth.at(target));
+
+  double sum = 0.0;
+  constexpr int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    CountSketch sketch(1, 256, static_cast<uint64_t>(seed) + 100);
+    for (uint64_t item : stream) sketch.Update(item);
+    sum += static_cast<double>(sketch.Estimate(target));
+  }
+  const double mean = sum / kSeeds;
+  const double sigma = std::sqrt(StreamF2(stream) / 256.0 / kSeeds);
+  EXPECT_NEAR(mean, target_count, 4.0 * sigma);
+}
+
+TEST(CountSketchTest, MergeEqualsSinglePassExactly) {
+  const auto stream = TestStream(63);
+  const auto shards = PartitionStream(stream, 8, PartitionPolicy::kRandom, 5);
+
+  CountSketch single(5, 512, 7);
+  for (uint64_t item : stream) single.Update(item);
+
+  CountSketch merged(5, 512, 7);
+  bool first = true;
+  for (const auto& shard : shards) {
+    CountSketch part(5, 512, 7);
+    for (uint64_t item : shard) part.Update(item);
+    if (first) {
+      merged = part;
+      first = false;
+    } else {
+      merged.Merge(part);
+    }
+  }
+  for (const auto& [item, count] : TrueCounts(stream)) {
+    ASSERT_EQ(merged.Estimate(item), single.Estimate(item))
+        << "item " << item;
+  }
+}
+
+TEST(CountSketchTest, NegativeWeightsCancel) {
+  CountSketch sketch(5, 64, 8);
+  sketch.Update(7, 10);
+  sketch.Update(7, -10);
+  EXPECT_EQ(sketch.Estimate(7), 0);
+}
+
+TEST(CountSketchDeathTest, InvalidParameters) {
+  EXPECT_DEATH(CountSketch(0, 8, 1), "depth");
+  EXPECT_DEATH(CountSketch(2, 0, 1), "width");
+}
+
+TEST(CountSketchDeathTest, MergeRequiresIdenticalConfig) {
+  CountSketch a(3, 64, 1);
+  CountSketch b(3, 64, 2);
+  EXPECT_DEATH(a.Merge(b), "identical shape and seed");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,157 @@
+#include "mergeable/sketch/dyadic_count_min.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+uint64_t ExactRange(const std::vector<uint64_t>& values, uint64_t lo,
+                    uint64_t hi) {
+  uint64_t count = 0;
+  for (uint64_t v : values) {
+    if (v >= lo && v <= hi) ++count;
+  }
+  return count;
+}
+
+TEST(DyadicCountMinTest, SmallStreamRangesAreTight) {
+  DyadicCountMin sketch(8, 5, 512, 1);
+  for (uint64_t v : {3u, 3u, 10u, 200u, 255u}) sketch.Update(v);
+  EXPECT_EQ(sketch.n(), 5u);
+  EXPECT_EQ(sketch.RangeCount(0, 255), 5u);
+  EXPECT_EQ(sketch.RangeCount(3, 3), 2u);
+  EXPECT_EQ(sketch.RangeCount(4, 9), 0u);
+  EXPECT_EQ(sketch.RangeCount(10, 200), 2u);
+}
+
+TEST(DyadicCountMinTest, NeverUnderestimates) {
+  constexpr int kLogU = 12;
+  DyadicCountMin sketch(kLogU, 4, 256, 2);
+  std::vector<uint64_t> values;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{1} << kLogU);
+    values.push_back(v);
+    sketch.Update(v);
+  }
+  Rng query_rng(4);
+  for (int q = 0; q < 100; ++q) {
+    uint64_t lo = query_rng.UniformInt(uint64_t{1} << kLogU);
+    uint64_t hi = query_rng.UniformInt(uint64_t{1} << kLogU);
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_GE(sketch.RangeCount(lo, hi), ExactRange(values, lo, hi));
+  }
+}
+
+TEST(DyadicCountMinTest, EpsilonBoundHolds) {
+  constexpr int kLogU = 12;
+  constexpr double kEpsilon = 0.02;
+  DyadicCountMin sketch =
+      DyadicCountMin::ForEpsilonDelta(kEpsilon, 0.01, kLogU, 5);
+  std::vector<uint64_t> values;
+  Rng rng(6);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{1} << kLogU);
+    values.push_back(v);
+    sketch.Update(v);
+  }
+  Rng query_rng(7);
+  int violations = 0;
+  for (int q = 0; q < 100; ++q) {
+    uint64_t lo = query_rng.UniformInt(uint64_t{1} << kLogU);
+    uint64_t hi = query_rng.UniformInt(uint64_t{1} << kLogU);
+    if (lo > hi) std::swap(lo, hi);
+    const uint64_t approx = sketch.RangeCount(lo, hi);
+    const uint64_t exact = ExactRange(values, lo, hi);
+    if (approx > exact + static_cast<uint64_t>(kEpsilon * 30000)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, 3);
+}
+
+TEST(DyadicCountMinTest, QuantilesTrackExactRanks) {
+  constexpr int kLogU = 16;
+  DyadicCountMin sketch =
+      DyadicCountMin::ForEpsilonDelta(0.02, 0.01, kLogU, 8);
+  std::vector<uint64_t> values;
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    // Bimodal distribution.
+    const uint64_t v = (i % 2 == 0)
+                           ? rng.UniformInt(uint64_t{5000})
+                           : 40000 + rng.UniformInt(uint64_t{5000});
+    values.push_back(v);
+    sketch.Update(v);
+  }
+  for (double phi : {0.1, 0.4, 0.6, 0.9}) {
+    const uint64_t answer = sketch.Quantile(phi);
+    const auto rank = static_cast<double>(ExactRange(values, 0, answer));
+    EXPECT_NEAR(rank, phi * 50000.0, 3.0 * 0.02 * 50000.0) << "phi " << phi;
+  }
+}
+
+TEST(DyadicCountMinTest, MergeEqualsSinglePassExactly) {
+  constexpr int kLogU = 10;
+  DyadicCountMin single(kLogU, 4, 128, 10);
+  DyadicCountMin left(kLogU, 4, 128, 10);
+  DyadicCountMin right(kLogU, 4, 128, 10);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{1} << kLogU);
+    single.Update(v);
+    (i % 2 == 0 ? left : right).Update(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.n(), single.n());
+  for (uint64_t lo = 0; lo < (1u << kLogU); lo += 97) {
+    ASSERT_EQ(left.RangeCount(lo, std::min<uint64_t>((1u << kLogU) - 1,
+                                                     lo + 300)),
+              single.RangeCount(lo, std::min<uint64_t>((1u << kLogU) - 1,
+                                                       lo + 300)));
+  }
+}
+
+TEST(DyadicCountMinTest, WeightedUpdates) {
+  DyadicCountMin sketch(8, 4, 256, 12);
+  sketch.Update(100, 50);
+  sketch.Update(200, 25);
+  EXPECT_EQ(sketch.n(), 75u);
+  EXPECT_GE(sketch.RangeCount(100, 100), 50u);
+  EXPECT_GE(sketch.RangeCount(0, 255), 75u);
+}
+
+TEST(DyadicCountMinTest, FullRangeIsN) {
+  DyadicCountMin sketch(6, 4, 64, 13);
+  for (uint64_t v = 0; v < 64; ++v) sketch.Update(v);
+  // The top level holds a single counter covering everything: exact.
+  EXPECT_EQ(sketch.RangeCount(0, 63), 64u);
+}
+
+TEST(DyadicCountMinDeathTest, InvalidParameters) {
+  EXPECT_DEATH(DyadicCountMin(0, 4, 64, 1), "log_universe");
+  EXPECT_DEATH(DyadicCountMin(33, 4, 64, 1), "log_universe");
+  EXPECT_DEATH(DyadicCountMin::ForEpsilonDelta(0.0, 0.1, 8, 1), "epsilon");
+}
+
+TEST(DyadicCountMinDeathTest, ValueAndRangeValidation) {
+  DyadicCountMin sketch(8, 4, 64, 1);
+  EXPECT_DEATH(sketch.Update(256), "universe");
+  sketch.Update(1);
+  EXPECT_DEATH(sketch.RangeCount(5, 4), "invalid range");
+  EXPECT_DEATH(sketch.RangeCount(0, 256), "invalid range");
+}
+
+TEST(DyadicCountMinDeathTest, MergeRequiresSameUniverse) {
+  DyadicCountMin a(8, 4, 64, 1);
+  DyadicCountMin b(9, 4, 64, 1);
+  EXPECT_DEATH(a.Merge(b), "identical universe");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,76 @@
+#include "mergeable/sketch/kmv.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSketch sketch(64, 1);
+  for (uint64_t item = 0; item < 20; ++item) sketch.Add(item);
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 20.0);
+}
+
+TEST(KmvTest, DuplicatesDoNotInflate) {
+  KmvSketch sketch(64, 2);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t item = 0; item < 30; ++item) sketch.Add(item);
+  }
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 30.0);
+}
+
+TEST(KmvTest, RelativeErrorScalesWithK) {
+  constexpr int kDistinct = 100000;
+  KmvSketch sketch(1024, 3);
+  for (uint64_t item = 0; item < kDistinct; ++item) sketch.Add(item);
+  const double estimate = sketch.EstimateDistinct();
+  // Relative error ~ 1/sqrt(k) ~ 3%; allow 5 sigma.
+  EXPECT_NEAR(estimate / kDistinct, 1.0, 0.16);
+}
+
+TEST(KmvTest, MergeEqualsSinglePassExactly) {
+  // The k smallest hashes of a union are a deterministic function of the
+  // union, so the merged sketch matches the single-pass sketch exactly.
+  KmvSketch single(256, 4);
+  KmvSketch left(256, 4);
+  KmvSketch right(256, 4);
+  for (uint64_t item = 0; item < 50000; ++item) {
+    single.Add(item);
+    (item % 3 == 0 ? left : right).Add(item);
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(left.EstimateDistinct(), single.EstimateDistinct());
+}
+
+TEST(KmvTest, MergeWithOverlapCountsDistinctOnce) {
+  KmvSketch a(256, 5);
+  KmvSketch b(256, 5);
+  for (uint64_t item = 0; item < 30000; ++item) a.Add(item);
+  for (uint64_t item = 15000; item < 45000; ++item) b.Add(item);
+  a.Merge(b);
+  EXPECT_NEAR(a.EstimateDistinct() / 45000.0, 1.0, 0.3);
+}
+
+TEST(KmvTest, SizeNeverExceedsK) {
+  KmvSketch sketch(32, 6);
+  for (uint64_t item = 0; item < 10000; ++item) sketch.Add(item);
+  EXPECT_EQ(sketch.size(), 32u);
+}
+
+TEST(KmvDeathTest, InvalidParameters) {
+  EXPECT_DEATH(KmvSketch(1, 1), "k >= 2");
+}
+
+TEST(KmvDeathTest, MergeRequiresIdenticalConfig) {
+  KmvSketch a(32, 1);
+  KmvSketch b(32, 2);
+  EXPECT_DEATH(a.Merge(b), "identical k and seed");
+  KmvSketch c(64, 1);
+  EXPECT_DEATH(a.Merge(c), "identical k and seed");
+}
+
+}  // namespace
+}  // namespace mergeable

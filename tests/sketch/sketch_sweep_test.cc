@@ -1,0 +1,145 @@
+// Parameterized sweeps over sketch shapes: the guarantees must hold for
+// every (depth, width) and epsilon configuration, not just the defaults
+// the focused tests use.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/sketch/count_sketch.h"
+#include "mergeable/stream/generators.h"
+
+namespace mergeable {
+namespace {
+
+const std::vector<uint64_t>& SweepStream() {
+  static const auto* stream = [] {
+    StreamSpec spec;
+    spec.kind = StreamKind::kZipf;
+    spec.n = 30000;
+    spec.universe = 4096;
+    return new std::vector<uint64_t>(GenerateStream(spec, 555));
+  }();
+  return *stream;
+}
+
+const std::map<uint64_t, uint64_t>& SweepTruth() {
+  static const auto* truth = [] {
+    auto* counts = new std::map<uint64_t, uint64_t>();
+    for (uint64_t item : SweepStream()) ++(*counts)[item];
+    return counts;
+  }();
+  return *truth;
+}
+
+using Shape = std::tuple<int, int>;  // (depth, width)
+
+class CountMinShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CountMinShapeTest, AlwaysUpperBoundsAndBoundsError) {
+  const auto [depth, width] = GetParam();
+  CountMinSketch sketch(depth, width, /*seed=*/1);
+  for (uint64_t item : SweepStream()) sketch.Update(item);
+  // One-sided guarantee for every shape.
+  for (const auto& [item, count] : SweepTruth()) {
+    ASSERT_GE(sketch.Estimate(item), count);
+  }
+  // Expected per-row overestimate is n / width; depth takes the min.
+  // Sanity: the average overestimate cannot exceed a few times n/width.
+  double total_over = 0;
+  for (const auto& [item, count] : SweepTruth()) {
+    total_over += static_cast<double>(sketch.Estimate(item) - count);
+  }
+  const double mean_over = total_over / static_cast<double>(SweepTruth().size());
+  EXPECT_LE(mean_over,
+            3.0 * static_cast<double>(SweepStream().size()) / width + 1.0)
+      << "depth=" << depth << " width=" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CountMinShapeTest,
+    ::testing::Values(Shape{1, 64}, Shape{1, 4096}, Shape{3, 256},
+                      Shape{5, 1024}, Shape{8, 128}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class CountSketchShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CountSketchShapeTest, ErrorScalesWithWidth) {
+  const auto [depth, width] = GetParam();
+  CountSketch sketch(depth, width, /*seed=*/2);
+  for (uint64_t item : SweepStream()) sketch.Update(item);
+  double f2 = 0.0;
+  for (const auto& [item, count] : SweepTruth()) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  const double budget = 8.0 * std::sqrt(f2 / width);
+  int violations = 0;
+  for (const auto& [item, count] : SweepTruth()) {
+    const double error =
+        std::abs(static_cast<double>(sketch.Estimate(item)) -
+                 static_cast<double>(count));
+    if (error > budget) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(SweepTruth().size() / 50 + 2))
+      << "depth=" << depth << " width=" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CountSketchShapeTest,
+    ::testing::Values(Shape{1, 512}, Shape{3, 1024}, Shape{5, 256},
+                      Shape{7, 2048}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class CounterEpsilonSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterEpsilonSweepTest, MisraGriesMeetsEveryEpsilon) {
+  const double epsilon = 1.0 / GetParam();
+  MisraGries mg = MisraGries::ForEpsilon(epsilon);
+  for (uint64_t item : SweepStream()) mg.Update(item);
+  const auto budget = static_cast<uint64_t>(
+      epsilon * static_cast<double>(SweepStream().size()));
+  EXPECT_LE(mg.ErrorBound(), budget);
+  for (const auto& [item, count] : SweepTruth()) {
+    ASSERT_LE(mg.LowerEstimate(item), count);
+    ASSERT_LE(count, mg.LowerEstimate(item) + mg.ErrorBound());
+  }
+}
+
+TEST_P(CounterEpsilonSweepTest, SpaceSavingMeetsEveryEpsilon) {
+  const double epsilon = 1.0 / GetParam();
+  SpaceSaving ss = SpaceSaving::ForEpsilon(epsilon);
+  for (uint64_t item : SweepStream()) ss.Update(item);
+  const auto budget = static_cast<uint64_t>(
+      epsilon * static_cast<double>(SweepStream().size()));
+  EXPECT_LE(ss.MinCount(), budget);
+  for (const auto& [item, count] : SweepTruth()) {
+    ASSERT_LE(ss.LowerEstimate(item), count);
+    ASSERT_LE(count, ss.UpperEstimate(item));
+    // Monitored-or-bounded: unmonitored items sit below the minimum.
+    if (ss.Count(item) == 0) {
+      ASSERT_LE(count, ss.MinCount());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InverseEpsilons, CounterEpsilonSweepTest,
+                         ::testing::Values(2, 5, 10, 50, 100, 1000, 30000),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "inv" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,98 @@
+#include "mergeable/stream/generators.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+StreamSpec SmallSpec(StreamKind kind) {
+  StreamSpec spec;
+  spec.kind = kind;
+  spec.n = 10000;
+  spec.universe = 256;
+  spec.alpha = 1.1;
+  spec.heavy_items = 8;
+  return spec;
+}
+
+class GeneratorsKindTest : public ::testing::TestWithParam<StreamKind> {};
+
+TEST_P(GeneratorsKindTest, ProducesRequestedLength) {
+  const auto stream = GenerateStream(SmallSpec(GetParam()), /*seed=*/1);
+  EXPECT_EQ(stream.size(), 10000u);
+}
+
+TEST_P(GeneratorsKindTest, DeterministicInSeed) {
+  const auto a = GenerateStream(SmallSpec(GetParam()), 5);
+  const auto b = GenerateStream(SmallSpec(GetParam()), 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(GeneratorsKindTest, ToStringIsNonEmpty) {
+  EXPECT_FALSE(ToString(SmallSpec(GetParam())).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorsKindTest,
+                         ::testing::Values(StreamKind::kZipf,
+                                           StreamKind::kUniform,
+                                           StreamKind::kSequential,
+                                           StreamKind::kAdversarialMg,
+                                           StreamKind::kMixed));
+
+TEST(GeneratorsTest, SequentialIsAllDistinct) {
+  const auto stream = GenerateStream(SmallSpec(StreamKind::kSequential), 1);
+  std::set<uint64_t> distinct(stream.begin(), stream.end());
+  EXPECT_EQ(distinct.size(), stream.size());
+}
+
+TEST(GeneratorsTest, ZipfSeedsChangeStream) {
+  const auto a = GenerateStream(SmallSpec(StreamKind::kZipf), 1);
+  const auto b = GenerateStream(SmallSpec(StreamKind::kZipf), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(GeneratorsTest, ZipfHasSkewedHead) {
+  const auto stream = GenerateStream(SmallSpec(StreamKind::kZipf), 3);
+  const auto counts = ExactCounts(stream);
+  ASSERT_FALSE(counts.empty());
+  // The most frequent item should dominate the mean count.
+  const double mean =
+      static_cast<double>(stream.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(counts.front().second), 5.0 * mean);
+}
+
+TEST(GeneratorsTest, AdversarialPlantsHeavyItems) {
+  StreamSpec spec = SmallSpec(StreamKind::kAdversarialMg);
+  const auto stream = GenerateStream(spec, 4);
+  const auto counts = ExactCounts(stream);
+  // The first heavy_items entries should each have ~n / (2 (h+1)) copies.
+  const uint64_t expected = spec.n / (2 * (spec.heavy_items + 1));
+  for (int i = 0; i < spec.heavy_items; ++i) {
+    EXPECT_EQ(counts[static_cast<size_t>(i)].second, expected) << "rank " << i;
+  }
+  // Everything else is a singleton.
+  EXPECT_EQ(counts[static_cast<size_t>(spec.heavy_items)].second, 1u);
+}
+
+TEST(GeneratorsTest, ExactCountsSortedAndComplete) {
+  const std::vector<uint64_t> stream = {5, 5, 9, 9, 9, 1};
+  const auto counts = ExactCounts(stream);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], std::make_pair(uint64_t{9}, uint64_t{3}));
+  EXPECT_EQ(counts[1], std::make_pair(uint64_t{5}, uint64_t{2}));
+  EXPECT_EQ(counts[2], std::make_pair(uint64_t{1}, uint64_t{1}));
+}
+
+TEST(GeneratorsTest, ExactCountsTotalMatchesLength) {
+  const auto stream = GenerateStream(SmallSpec(StreamKind::kMixed), 6);
+  uint64_t total = 0;
+  for (const auto& [item, count] : ExactCounts(stream)) total += count;
+  EXPECT_EQ(total, stream.size());
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,132 @@
+#include "mergeable/stream/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/stream/generators.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint64_t> TestStream() {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 5000;
+  spec.universe = 128;
+  return GenerateStream(spec, 11);
+}
+
+std::map<uint64_t, uint64_t> Multiset(const std::vector<uint64_t>& items) {
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t item : items) ++counts[item];
+  return counts;
+}
+
+class PartitionPolicyTest : public ::testing::TestWithParam<PartitionPolicy> {
+};
+
+TEST_P(PartitionPolicyTest, PreservesMultisetUnion) {
+  const auto stream = TestStream();
+  for (int shards : {1, 2, 7, 16}) {
+    const auto parts = PartitionStream(stream, shards, GetParam(), 3);
+    ASSERT_EQ(parts.size(), static_cast<size_t>(shards));
+    std::vector<uint64_t> reunited;
+    for (const auto& part : parts) {
+      reunited.insert(reunited.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(Multiset(reunited), Multiset(stream));
+  }
+}
+
+TEST_P(PartitionPolicyTest, ToStringIsNonEmpty) {
+  EXPECT_FALSE(ToString(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PartitionPolicyTest,
+                         ::testing::Values(PartitionPolicy::kContiguous,
+                                           PartitionPolicy::kRoundRobin,
+                                           PartitionPolicy::kRandom,
+                                           PartitionPolicy::kSkewed,
+                                           PartitionPolicy::kByValue));
+
+TEST(PartitionTest, ContiguousKeepsOrderAndBalance) {
+  const auto stream = TestStream();
+  const auto parts =
+      PartitionStream(stream, 4, PartitionPolicy::kContiguous);
+  size_t offset = 0;
+  for (const auto& part : parts) {
+    EXPECT_NEAR(static_cast<double>(part.size()), stream.size() / 4.0, 1.0);
+    for (size_t i = 0; i < part.size(); ++i) {
+      ASSERT_EQ(part[i], stream[offset + i]);
+    }
+    offset += part.size();
+  }
+}
+
+TEST(PartitionTest, RoundRobinInterleaves) {
+  const std::vector<uint64_t> stream = {0, 1, 2, 3, 4, 5, 6};
+  const auto parts = PartitionStream(stream, 3, PartitionPolicy::kRoundRobin);
+  EXPECT_EQ(parts[0], (std::vector<uint64_t>{0, 3, 6}));
+  EXPECT_EQ(parts[1], (std::vector<uint64_t>{1, 4}));
+  EXPECT_EQ(parts[2], (std::vector<uint64_t>{2, 5}));
+}
+
+TEST(PartitionTest, SkewedShardSizesDecayGeometrically) {
+  const auto stream = TestStream();
+  const auto parts = PartitionStream(stream, 4, PartitionPolicy::kSkewed);
+  EXPECT_EQ(parts[0].size(), stream.size() / 2);
+  EXPECT_EQ(parts[1].size(), stream.size() / 4);
+  EXPECT_GT(parts[0].size(), parts[1].size());
+  EXPECT_GT(parts[1].size(), parts[2].size());
+}
+
+TEST(PartitionTest, ByValueGivesDisjointSupports) {
+  const auto stream = TestStream();
+  const auto parts = PartitionStream(stream, 8, PartitionPolicy::kByValue, 5);
+  std::set<uint64_t> seen;
+  for (const auto& part : parts) {
+    std::set<uint64_t> support(part.begin(), part.end());
+    for (uint64_t item : support) {
+      EXPECT_TRUE(seen.insert(item).second)
+          << "item " << item << " on two shards";
+    }
+  }
+}
+
+TEST(PartitionTest, RandomIsSeedDeterministic) {
+  const auto stream = TestStream();
+  const auto a = PartitionStream(stream, 5, PartitionPolicy::kRandom, 9);
+  const auto b = PartitionStream(stream, 5, PartitionPolicy::kRandom, 9);
+  EXPECT_EQ(a, b);
+  const auto c = PartitionStream(stream, 5, PartitionPolicy::kRandom, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST(PartitionTest, SingleShardIsIdentity) {
+  const auto stream = TestStream();
+  const auto parts = PartitionStream(stream, 1, PartitionPolicy::kRandom, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(Multiset(parts[0]), Multiset(stream));
+}
+
+TEST(PartitionTest, MoreShardsThanItems) {
+  const std::vector<uint64_t> stream = {1, 2};
+  const auto parts = PartitionStream(stream, 5, PartitionPolicy::kContiguous);
+  EXPECT_EQ(parts.size(), 5u);
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(PartitionDeathTest, RejectsZeroShards) {
+  EXPECT_DEATH(PartitionStream({1}, 0, PartitionPolicy::kContiguous),
+               "shards >= 1");
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,86 @@
+#include "mergeable/stream/zipf.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(AliasTableTest, SingleWeightAlwaysSampled) {
+  AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  Rng rng(3);
+  constexpr int kDraws = 200000;
+  std::vector<int> histogram(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expected = kDraws * (i + 1) / 10.0;
+    EXPECT_NEAR(histogram[i], expected, expected * 0.05) << "slot " << i;
+  }
+}
+
+TEST(AliasTableDeathTest, RejectsEmptyAndNonPositive) {
+  EXPECT_DEATH(AliasTable({}), "at least one weight");
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "positive total weight");
+  EXPECT_DEATH(AliasTable({-1.0, 2.0}), "non-negative");
+}
+
+TEST(ZipfTest, UniverseSizeRespected) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(5);
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[zipf.Sample(rng)];
+  for (int count : histogram) EXPECT_NEAR(count, kDraws / 10, 600);
+}
+
+TEST(ZipfTest, RankFrequenciesDecay) {
+  ZipfDistribution zipf(1000, 1.2);
+  Rng rng(6);
+  constexpr int kDraws = 200000;
+  std::vector<int> histogram(1000, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[zipf.Sample(rng)];
+  EXPECT_GT(histogram[0], histogram[9]);
+  EXPECT_GT(histogram[0], kDraws / 20);  // Head rank carries real mass.
+  // Ratio of rank 0 to rank 1 should be near 2^1.2 ~ 2.3.
+  const double ratio =
+      static_cast<double>(histogram[0]) / std::max(1, histogram[1]);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.2), 0.5);
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfDistribution zipf(64, 1.1);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(a), zipf.Sample(b));
+}
+
+TEST(ZipfDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(ZipfDistribution(0, 1.0), "non-empty");
+  EXPECT_DEATH(ZipfDistribution(10, -0.1), "non-negative");
+}
+
+}  // namespace
+}  // namespace mergeable

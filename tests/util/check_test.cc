@@ -1,0 +1,45 @@
+#include "mergeable/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MERGEABLE_CHECK(1 + 1 == 2);
+  MERGEABLE_CHECK_MSG(true, "never shown");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(MERGEABLE_CHECK(1 == 2), "MERGEABLE_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckPrintsMessage) {
+  EXPECT_DEATH(MERGEABLE_CHECK_MSG(false, "custom context"),
+               "custom context");
+}
+
+TEST(CheckDeathTest, FailingCheckPrintsCondition) {
+  const int x = 3;
+  EXPECT_DEATH(MERGEABLE_CHECK(x == 4), "x == 4");
+}
+
+TEST(CheckTest, DcheckPassesWhenTrue) {
+  MERGEABLE_DCHECK(true);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(MERGEABLE_DCHECK(false), "MERGEABLE_CHECK failed");
+}
+#else
+TEST(CheckTest, DcheckCompilesAwayInReleaseBuilds) {
+  MERGEABLE_DCHECK(false);  // Must not abort.
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace mergeable

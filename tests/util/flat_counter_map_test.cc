@@ -1,0 +1,119 @@
+#include "mergeable/util/flat_counter_map.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(FlatCounterMapTest, StartsEmpty) {
+  FlatCounterMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Count(42), 0u);
+  EXPECT_FALSE(map.Contains(42));
+}
+
+TEST(FlatCounterMapTest, AddWeightInsertsAndAccumulates) {
+  FlatCounterMap map;
+  EXPECT_EQ(map.AddWeight(7, 3), 3u);
+  EXPECT_EQ(map.AddWeight(7, 4), 7u);
+  EXPECT_EQ(map.Count(7), 7u);
+  EXPECT_TRUE(map.Contains(7));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatCounterMapTest, DistinctKeysAreIndependent) {
+  FlatCounterMap map;
+  map.AddWeight(1, 10);
+  map.AddWeight(2, 20);
+  map.AddWeight(3, 30);
+  EXPECT_EQ(map.Count(1), 10u);
+  EXPECT_EQ(map.Count(2), 20u);
+  EXPECT_EQ(map.Count(3), 30u);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(FlatCounterMapTest, HandlesExtremeKeys) {
+  FlatCounterMap map;
+  map.AddWeight(0, 1);
+  map.AddWeight(~uint64_t{0}, 2);
+  EXPECT_EQ(map.Count(0), 1u);
+  EXPECT_EQ(map.Count(~uint64_t{0}), 2u);
+}
+
+TEST(FlatCounterMapTest, GrowsBeyondInitialCapacity) {
+  FlatCounterMap map(4);
+  for (uint64_t key = 0; key < 1000; ++key) map.AddWeight(key, key + 1);
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(map.Count(key), key + 1) << "key " << key;
+  }
+}
+
+TEST(FlatCounterMapTest, ClearKeepsCapacityDropsEntries) {
+  FlatCounterMap map;
+  for (uint64_t key = 0; key < 100; ++key) map.AddWeight(key, 1);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (uint64_t key = 0; key < 100; ++key) EXPECT_EQ(map.Count(key), 0u);
+  map.AddWeight(5, 9);
+  EXPECT_EQ(map.Count(5), 9u);
+}
+
+TEST(FlatCounterMapTest, EntriesReturnsAllPairs) {
+  FlatCounterMap map;
+  map.AddWeight(10, 1);
+  map.AddWeight(20, 2);
+  auto entries = map.Entries();
+  std::sort(entries.begin(), entries.end());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], std::make_pair(uint64_t{10}, uint64_t{1}));
+  EXPECT_EQ(entries[1], std::make_pair(uint64_t{20}, uint64_t{2}));
+}
+
+TEST(FlatCounterMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatCounterMap map;
+  for (uint64_t key = 0; key < 50; ++key) map.AddWeight(key * 7919, key + 1);
+  uint64_t visits = 0;
+  uint64_t total = 0;
+  map.ForEach([&](uint64_t /*key*/, uint64_t count) {
+    ++visits;
+    total += count;
+  });
+  EXPECT_EQ(visits, 50u);
+  EXPECT_EQ(total, 50u * 51u / 2u);
+}
+
+TEST(FlatCounterMapTest, MatchesReferenceMapUnderRandomWorkload) {
+  FlatCounterMap map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.UniformInt(uint64_t{512});
+    const uint64_t weight = 1 + rng.UniformInt(uint64_t{5});
+    map.AddWeight(key, weight);
+    reference[key] += weight;
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    ASSERT_EQ(map.Count(key), count) << "key " << key;
+  }
+}
+
+TEST(FlatCounterMapTest, CopySemantics) {
+  FlatCounterMap map;
+  map.AddWeight(1, 5);
+  FlatCounterMap copy = map;
+  copy.AddWeight(1, 5);
+  EXPECT_EQ(map.Count(1), 5u);
+  EXPECT_EQ(copy.Count(1), 10u);
+}
+
+}  // namespace
+}  // namespace mergeable

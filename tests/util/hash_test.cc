@@ -1,0 +1,123 @@
+#include "mergeable/util/hash.h"
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(MixHashTest, Deterministic) {
+  EXPECT_EQ(MixHash(12345), MixHash(12345));
+  EXPECT_EQ(MixHash(12345, 7), MixHash(12345, 7));
+}
+
+TEST(MixHashTest, SeedChangesOutput) {
+  EXPECT_NE(MixHash(12345, 1), MixHash(12345, 2));
+}
+
+TEST(MixHashTest, NoCollisionsOnSmallRange) {
+  // MixHash is a bijection, so distinct inputs cannot collide.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(MixHash(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(MixHashTest, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flipped = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const uint64_t a = MixHash(0x123456789abcdef0ULL);
+    const uint64_t b = MixHash(0x123456789abcdef0ULL ^ (uint64_t{1} << bit));
+    total_flipped += std::popcount(a ^ b);
+  }
+  const double mean_flipped = static_cast<double>(total_flipped) / kTrials;
+  EXPECT_GT(mean_flipped, 24.0);
+  EXPECT_LT(mean_flipped, 40.0);
+}
+
+TEST(PolynomialHashTest, OutputWithinField) {
+  PolynomialHash hash(4, /*seed=*/99);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(hash(x), PolynomialHash::kPrime);
+  }
+}
+
+TEST(PolynomialHashTest, DeterministicPerSeed) {
+  PolynomialHash a(3, 5);
+  PolynomialHash b(3, 5);
+  PolynomialHash c(3, 6);
+  int differs = 0;
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(a(x), b(x));
+    if (a(x) != c(x)) ++differs;
+  }
+  EXPECT_GT(differs, 90);
+}
+
+TEST(PolynomialHashTest, BoundedStaysInBound) {
+  PolynomialHash hash(2, 123);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(hash.Bounded(x, 17), 17u);
+  }
+}
+
+TEST(PolynomialHashTest, BoundedIsRoughlyUniform) {
+  PolynomialHash hash(2, 321);
+  constexpr uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) {
+    ++histogram[hash.Bounded(static_cast<uint64_t>(x), kBuckets)];
+  }
+  for (int count : histogram) EXPECT_NEAR(count, kDraws / kBuckets, 600);
+}
+
+TEST(PolynomialHashTest, SignsAreBalanced) {
+  PolynomialHash hash(4, 777);
+  int positive = 0;
+  constexpr int kDraws = 40000;
+  for (int x = 0; x < kDraws; ++x) {
+    const int sign = hash.Sign(static_cast<uint64_t>(x));
+    ASSERT_TRUE(sign == 1 || sign == -1);
+    if (sign == 1) ++positive;
+  }
+  EXPECT_NEAR(positive, kDraws / 2, 600);
+}
+
+TEST(PolynomialHashTest, PairwiseCollisionRateNearUniversal) {
+  // For a 2-universal family, Pr[h(x) mod m == h(y) mod m] ~ 1/m.
+  constexpr uint64_t kBuckets = 64;
+  constexpr int kPairs = 3000;
+  int collisions = 0;
+  PolynomialHash hash(2, 2024);
+  for (int i = 0; i < kPairs; ++i) {
+    const auto x = static_cast<uint64_t>(2 * i);
+    const auto y = static_cast<uint64_t>(2 * i + 1);
+    if (hash.Bounded(x, kBuckets) == hash.Bounded(y, kBuckets)) ++collisions;
+  }
+  // Expected ~ kPairs / kBuckets = 47; allow generous slack.
+  EXPECT_LT(collisions, 110);
+}
+
+TEST(PolynomialHashTest, FourWiseSignProductsAverageToZero) {
+  // 4-wise independence implies E[s(a)s(b)s(c)s(d)] = 0 for distinct keys.
+  double sum = 0.0;
+  constexpr int kTrials = 200;
+  for (int seed = 0; seed < kTrials; ++seed) {
+    PolynomialHash hash(4, static_cast<uint64_t>(seed) * 31 + 1);
+    sum += hash.Sign(1) * hash.Sign(2) * hash.Sign(3) * hash.Sign(4);
+  }
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.25);
+}
+
+TEST(PolynomialHashDeathTest, ZeroDegreeAborts) {
+  EXPECT_DEATH(PolynomialHash(0, 1), "degree");
+}
+
+}  // namespace
+}  // namespace mergeable

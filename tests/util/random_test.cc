@@ -1,0 +1,136 @@
+#include "mergeable/util/random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedStillProducesSpread) {
+  // SplitMix64 seeding must not leave a degenerate all-zero state.
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.Next());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformInt(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformInt(uint64_t{1}), 0u);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.UniformInt(uint64_t{kBuckets})];
+  }
+  // Each bucket should get ~10000; allow 5 sigma (~474).
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngDeathTest, UniformIntZeroBoundAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(uint64_t{0}), "bound must be positive");
+}
+
+TEST(RngDeathTest, UniformIntInvertedRangeAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(int64_t{5}, int64_t{4}), "lo <= hi");
+}
+
+TEST(SplitMix64Test, AdvancesStateAndMixes) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace mergeable
