@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cafaro_error.dir/bench_cafaro_error.cc.o"
+  "CMakeFiles/bench_cafaro_error.dir/bench_cafaro_error.cc.o.d"
+  "bench_cafaro_error"
+  "bench_cafaro_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cafaro_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eps_approx.dir/bench_eps_approx.cc.o"
+  "CMakeFiles/bench_eps_approx.dir/bench_eps_approx.cc.o.d"
+  "bench_eps_approx"
+  "bench_eps_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eps_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hh_error.dir/bench_hh_error.cc.o"
+  "CMakeFiles/bench_hh_error.dir/bench_hh_error.cc.o.d"
+  "bench_hh_error"
+  "bench_hh_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hh_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

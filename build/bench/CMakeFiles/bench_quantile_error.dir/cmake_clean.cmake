@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantile_error.dir/bench_quantile_error.cc.o"
+  "CMakeFiles/bench_quantile_error.dir/bench_quantile_error.cc.o.d"
+  "bench_quantile_error"
+  "bench_quantile_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantile_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantile_merging.dir/bench_quantile_merging.cc.o"
+  "CMakeFiles/bench_quantile_merging.dir/bench_quantile_merging.cc.o.d"
+  "bench_quantile_merging"
+  "bench_quantile_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantile_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_heavy_hitters.dir/distributed_heavy_hitters.cpp.o"
+  "CMakeFiles/distributed_heavy_hitters.dir/distributed_heavy_hitters.cpp.o.d"
+  "distributed_heavy_hitters"
+  "distributed_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

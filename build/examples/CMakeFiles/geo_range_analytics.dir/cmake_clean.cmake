@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_range_analytics.dir/geo_range_analytics.cpp.o"
+  "CMakeFiles/geo_range_analytics.dir/geo_range_analytics.cpp.o.d"
+  "geo_range_analytics"
+  "geo_range_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_range_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_quantiles.dir/latency_quantiles.cpp.o"
+  "CMakeFiles/latency_quantiles.dir/latency_quantiles.cpp.o.d"
+  "latency_quantiles"
+  "latency_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

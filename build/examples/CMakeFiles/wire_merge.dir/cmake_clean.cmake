@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_merge.dir/wire_merge.cpp.o"
+  "CMakeFiles/wire_merge.dir/wire_merge.cpp.o.d"
+  "wire_merge"
+  "wire_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

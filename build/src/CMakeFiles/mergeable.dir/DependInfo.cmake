@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mergeable/approx/eps_approximation.cc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_approximation.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_approximation.cc.o.d"
+  "/root/repo/src/mergeable/approx/eps_kernel.cc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_kernel.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_kernel.cc.o.d"
+  "/root/repo/src/mergeable/approx/eps_net.cc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_net.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/approx/eps_net.cc.o.d"
+  "/root/repo/src/mergeable/approx/halving.cc" "src/CMakeFiles/mergeable.dir/mergeable/approx/halving.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/approx/halving.cc.o.d"
+  "/root/repo/src/mergeable/approx/range_counting.cc" "src/CMakeFiles/mergeable.dir/mergeable/approx/range_counting.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/approx/range_counting.cc.o.d"
+  "/root/repo/src/mergeable/frequency/counter.cc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/counter.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/counter.cc.o.d"
+  "/root/repo/src/mergeable/frequency/misra_gries.cc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/misra_gries.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/misra_gries.cc.o.d"
+  "/root/repo/src/mergeable/frequency/space_saving.cc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/space_saving.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/space_saving.cc.o.d"
+  "/root/repo/src/mergeable/frequency/space_saving_bucket.cc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/space_saving_bucket.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/frequency/space_saving_bucket.cc.o.d"
+  "/root/repo/src/mergeable/quantiles/gk.cc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/gk.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/gk.cc.o.d"
+  "/root/repo/src/mergeable/quantiles/mergeable_quantiles.cc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/mergeable_quantiles.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/mergeable_quantiles.cc.o.d"
+  "/root/repo/src/mergeable/quantiles/qdigest.cc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/qdigest.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/qdigest.cc.o.d"
+  "/root/repo/src/mergeable/quantiles/reservoir.cc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/reservoir.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/quantiles/reservoir.cc.o.d"
+  "/root/repo/src/mergeable/sketch/ams.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/ams.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/ams.cc.o.d"
+  "/root/repo/src/mergeable/sketch/bloom.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/bloom.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/bloom.cc.o.d"
+  "/root/repo/src/mergeable/sketch/count_min.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/count_min.cc.o.d"
+  "/root/repo/src/mergeable/sketch/count_sketch.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/mergeable/sketch/dyadic_count_min.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/dyadic_count_min.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/dyadic_count_min.cc.o.d"
+  "/root/repo/src/mergeable/sketch/kmv.cc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/kmv.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/sketch/kmv.cc.o.d"
+  "/root/repo/src/mergeable/stream/generators.cc" "src/CMakeFiles/mergeable.dir/mergeable/stream/generators.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/stream/generators.cc.o.d"
+  "/root/repo/src/mergeable/stream/partition.cc" "src/CMakeFiles/mergeable.dir/mergeable/stream/partition.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/stream/partition.cc.o.d"
+  "/root/repo/src/mergeable/stream/zipf.cc" "src/CMakeFiles/mergeable.dir/mergeable/stream/zipf.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/stream/zipf.cc.o.d"
+  "/root/repo/src/mergeable/util/hash.cc" "src/CMakeFiles/mergeable.dir/mergeable/util/hash.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/util/hash.cc.o.d"
+  "/root/repo/src/mergeable/util/random.cc" "src/CMakeFiles/mergeable.dir/mergeable/util/random.cc.o" "gcc" "src/CMakeFiles/mergeable.dir/mergeable/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_test.dir/sketch/ams_test.cc.o"
+  "CMakeFiles/ams_test.dir/sketch/ams_test.cc.o.d"
+  "ams_test"
+  "ams_test.pdb"
+  "ams_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

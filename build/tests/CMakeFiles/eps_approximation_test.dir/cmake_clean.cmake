@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_approximation_test.dir/approx/eps_approximation_test.cc.o"
+  "CMakeFiles/eps_approximation_test.dir/approx/eps_approximation_test.cc.o.d"
+  "eps_approximation_test"
+  "eps_approximation_test.pdb"
+  "eps_approximation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_approximation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

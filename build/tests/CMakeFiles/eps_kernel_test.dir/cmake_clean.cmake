@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_kernel_test.dir/approx/eps_kernel_test.cc.o"
+  "CMakeFiles/eps_kernel_test.dir/approx/eps_kernel_test.cc.o.d"
+  "eps_kernel_test"
+  "eps_kernel_test.pdb"
+  "eps_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

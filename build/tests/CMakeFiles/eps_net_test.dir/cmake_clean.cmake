@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_net_test.dir/approx/eps_net_test.cc.o"
+  "CMakeFiles/eps_net_test.dir/approx/eps_net_test.cc.o.d"
+  "eps_net_test"
+  "eps_net_test.pdb"
+  "eps_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

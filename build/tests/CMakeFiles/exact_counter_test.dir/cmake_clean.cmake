@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_counter_test.dir/frequency/exact_counter_test.cc.o"
+  "CMakeFiles/exact_counter_test.dir/frequency/exact_counter_test.cc.o.d"
+  "exact_counter_test"
+  "exact_counter_test.pdb"
+  "exact_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

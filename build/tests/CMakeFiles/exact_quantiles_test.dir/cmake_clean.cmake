@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_quantiles_test.dir/quantiles/exact_quantiles_test.cc.o"
+  "CMakeFiles/exact_quantiles_test.dir/quantiles/exact_quantiles_test.cc.o.d"
+  "exact_quantiles_test"
+  "exact_quantiles_test.pdb"
+  "exact_quantiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_quantiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

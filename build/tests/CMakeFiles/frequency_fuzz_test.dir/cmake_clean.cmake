@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_fuzz_test.dir/frequency/fuzz_test.cc.o"
+  "CMakeFiles/frequency_fuzz_test.dir/frequency/fuzz_test.cc.o.d"
+  "frequency_fuzz_test"
+  "frequency_fuzz_test.pdb"
+  "frequency_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

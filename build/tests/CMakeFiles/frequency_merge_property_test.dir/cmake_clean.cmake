@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_merge_property_test.dir/frequency/merge_property_test.cc.o"
+  "CMakeFiles/frequency_merge_property_test.dir/frequency/merge_property_test.cc.o.d"
+  "frequency_merge_property_test"
+  "frequency_merge_property_test.pdb"
+  "frequency_merge_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_merge_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_test.dir/quantiles/gk_test.cc.o"
+  "CMakeFiles/gk_test.dir/quantiles/gk_test.cc.o.d"
+  "gk_test"
+  "gk_test.pdb"
+  "gk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

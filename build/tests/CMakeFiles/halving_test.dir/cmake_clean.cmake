@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halving_test.dir/approx/halving_test.cc.o"
+  "CMakeFiles/halving_test.dir/approx/halving_test.cc.o.d"
+  "halving_test"
+  "halving_test.pdb"
+  "halving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_driver_test.dir/core/merge_driver_test.cc.o"
+  "CMakeFiles/merge_driver_test.dir/core/merge_driver_test.cc.o.d"
+  "merge_driver_test"
+  "merge_driver_test.pdb"
+  "merge_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mergeable_quantiles_test.dir/quantiles/mergeable_quantiles_test.cc.o"
+  "CMakeFiles/mergeable_quantiles_test.dir/quantiles/mergeable_quantiles_test.cc.o.d"
+  "mergeable_quantiles_test"
+  "mergeable_quantiles_test.pdb"
+  "mergeable_quantiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mergeable_quantiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

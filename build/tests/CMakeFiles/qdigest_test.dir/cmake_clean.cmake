@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdigest_test.dir/quantiles/qdigest_test.cc.o"
+  "CMakeFiles/qdigest_test.dir/quantiles/qdigest_test.cc.o.d"
+  "qdigest_test"
+  "qdigest_test.pdb"
+  "qdigest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdigest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantiles_fuzz_test.dir/quantiles/fuzz_test.cc.o"
+  "CMakeFiles/quantiles_fuzz_test.dir/quantiles/fuzz_test.cc.o.d"
+  "quantiles_fuzz_test"
+  "quantiles_fuzz_test.pdb"
+  "quantiles_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantiles_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_sweep_test.dir/sketch/sketch_sweep_test.cc.o"
+  "CMakeFiles/sketch_sweep_test.dir/sketch/sketch_sweep_test.cc.o.d"
+  "sketch_sweep_test"
+  "sketch_sweep_test.pdb"
+  "sketch_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

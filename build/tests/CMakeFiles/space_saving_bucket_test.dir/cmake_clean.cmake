@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_saving_bucket_test.dir/frequency/space_saving_bucket_test.cc.o"
+  "CMakeFiles/space_saving_bucket_test.dir/frequency/space_saving_bucket_test.cc.o.d"
+  "space_saving_bucket_test"
+  "space_saving_bucket_test.pdb"
+  "space_saving_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_saving_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
