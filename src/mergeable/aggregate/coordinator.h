@@ -1,0 +1,265 @@
+// The fault-tolerant aggregation coordinator.
+//
+// Workers summarize their shards and ship framed reports (wire.h) over a
+// transport (fault.h). The coordinator collects exactly one report per
+// shard for one epoch, surviving the faults the transport injects:
+//
+//   * malformed frames (truncated / bit-flipped) are rejected by the
+//     frame checksum and the summary decoders, then retried;
+//   * missing replies are retried with capped exponential backoff until
+//     a per-shard deadline;
+//   * duplicated and straggler frames are deduplicated by (shard, epoch);
+//   * permanently lost shards degrade the answer instead of silently
+//     biasing it: the result reports effective coverage
+//     n_received / n_total and ErrorAccounting widens the error bound by
+//     the unobserved mass.
+//
+// The merge itself reuses core/merge_driver.h, so the coordinator works
+// under any merge topology — the mergeability guarantee (the paper's
+// central claim) is exactly what makes partial, reordered, retried
+// aggregation sound: whatever subset of shards arrives, in whatever
+// order they are merged, the result is a valid summary of the union of
+// the received shards with the same epsilon.
+
+#ifndef MERGEABLE_AGGREGATE_COORDINATOR_H_
+#define MERGEABLE_AGGREGATE_COORDINATOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mergeable/aggregate/fault.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/core/concepts.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// Retry schedule: capped exponential backoff under a per-shard deadline.
+struct BackoffPolicy {
+  uint32_t max_attempts = 4;
+  uint64_t initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  uint64_t max_backoff_ms = 1000;
+  // An exchange that takes longer than this counts as timed out.
+  uint64_t attempt_timeout_ms = 100;
+  // No attempt starts after this much virtual time has elapsed for the
+  // shard (retrying forever would stall the whole epoch).
+  uint64_t deadline_ms = 5000;
+
+  // Backoff inserted before `attempt` (zero before the first try).
+  uint64_t BackoffBefore(uint32_t attempt) const;
+};
+
+// Per-shard aggregation outcome.
+struct ShardOutcome {
+  enum class Status {
+    kReceived,  // A valid report was accepted.
+    kLost,      // All attempts exhausted or deadline passed.
+  };
+  uint64_t shard_id = 0;
+  Status status = Status::kLost;
+  uint32_t attempts = 0;        // Exchanges performed.
+  uint64_t malformed = 0;       // Frames rejected (checksum / decode).
+  uint64_t duplicates = 0;      // Frames deduplicated by (shard, epoch).
+  uint64_t elapsed_ms = 0;      // Virtual time spent on this shard.
+};
+
+// Degraded-coverage error accounting (see DESIGN.md §7). For a summary
+// family guaranteeing error <= epsilon * n after arbitrary merging:
+//   * against the received shards the merged summary keeps the native
+//     bound epsilon * n_received — mergeability holds for any subset;
+//   * against the full (partly unobserved) stream every lost shard may
+//     hide up to its whole weight, so the bound widens additively by the
+//     lost mass (exact when the caller knows the intended total, else
+//     estimated from the mean received shard weight).
+struct ErrorAccounting {
+  double coverage = 1.0;          // shards_received / shards_total.
+  uint64_t n_received = 0;        // Mass actually aggregated.
+  uint64_t lost_mass = 0;         // Known or estimated unobserved mass.
+  bool lost_mass_estimated = false;
+  double received_bound = 0.0;    // epsilon * n_received.
+  double full_stream_bound = 0.0; // received_bound + lost_mass.
+};
+
+// Everything the coordinator learned in one epoch.
+template <WireSummary S>
+struct AggregationResult {
+  // Merge of every accepted report; nullopt when nothing arrived.
+  std::optional<S> summary;
+  size_t shards_total = 0;
+  size_t shards_received = 0;
+  uint64_t retries = 0;             // Exchanges beyond each first attempt.
+  uint64_t duplicates_rejected = 0;
+  uint64_t malformed_rejected = 0;
+  uint64_t incompatible_rejected = 0;  // Decoded but failed validation.
+  uint64_t elapsed_ms = 0;          // Max over shards (parallel fetches).
+  std::vector<ShardOutcome> outcomes;
+
+  size_t shards_lost() const { return shards_total - shards_received; }
+  double Coverage() const {
+    return shards_total == 0
+               ? 0.0
+               : static_cast<double>(shards_received) /
+                     static_cast<double>(shards_total);
+  }
+  bool Degraded() const { return shards_received < shards_total; }
+};
+
+// Computes the degraded-coverage accounting for a result whose summary
+// guarantees error <= epsilon * n. `expected_total_n` is the intended
+// full-stream mass if the caller knows it (0 = unknown, estimate it).
+ErrorAccounting AccountErrors(double epsilon, size_t shards_total,
+                              size_t shards_received, uint64_t n_received,
+                              uint64_t expected_total_n);
+
+template <WireSummary S>
+ErrorAccounting AccountErrors(const AggregationResult<S>& result,
+                              double epsilon,
+                              uint64_t expected_total_n = 0) {
+  return AccountErrors(epsilon, result.shards_total, result.shards_received,
+                       result.summary.has_value() ? result.summary->n() : 0,
+                       expected_total_n);
+}
+
+// Collects one epoch of reports for summary type S.
+template <WireSummary S>
+class Coordinator {
+ public:
+  // `validate` (optional) accepts a decoded summary before it is merged;
+  // use it to enforce fleet-wide configuration (capacity, seeds) so a
+  // stray incompatible report cannot abort the merge.
+  Coordinator(uint64_t epoch, BackoffPolicy policy, MergeTopology topology,
+              uint64_t seed = 0)
+      : epoch_(epoch), policy_(policy), topology_(topology), rng_(seed) {}
+
+  void set_validator(bool (*validate)(const S&)) { validate_ = validate; }
+
+  // Fetches the reports of shards [0, n_shards) from `transport`, with
+  // retries, dedup and degraded-coverage accounting.
+  AggregationResult<S> Run(SimulatedTransport& transport, size_t n_shards) {
+    AggregationResult<S> result;
+    result.shards_total = n_shards;
+    result.outcomes.reserve(n_shards);
+    std::vector<S> accepted;
+    accepted.reserve(n_shards);
+    for (uint64_t shard = 0; shard < n_shards; ++shard) {
+      ShardOutcome outcome = FetchShard(transport, shard, &accepted);
+      result.retries +=
+          outcome.attempts > 0 ? outcome.attempts - 1 : 0;
+      result.duplicates_rejected += outcome.duplicates;
+      result.malformed_rejected += outcome.malformed;
+      result.elapsed_ms = std::max(result.elapsed_ms, outcome.elapsed_ms);
+      if (outcome.status == ShardOutcome::Status::kReceived) {
+        ++result.shards_received;
+      }
+      result.outcomes.push_back(std::move(outcome));
+    }
+    result.incompatible_rejected = incompatible_;
+    if (!accepted.empty()) {
+      result.summary = MergeAll(std::move(accepted), topology_, &rng_);
+    }
+    return result;
+  }
+
+ private:
+  // Runs the retry loop for one shard. On success the decoded summary is
+  // appended to `accepted`.
+  ShardOutcome FetchShard(SimulatedTransport& transport, uint64_t shard,
+                          std::vector<S>* accepted) {
+    ShardOutcome outcome;
+    outcome.shard_id = shard;
+    bool have_report = false;
+    bool incompatible = false;
+    for (uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+      const uint64_t backoff = policy_.BackoffBefore(attempt);
+      if (outcome.elapsed_ms + backoff > policy_.deadline_ms) break;
+      outcome.elapsed_ms += backoff;
+      ++outcome.attempts;
+      DeliveryAttempt delivery = transport.Deliver(shard, attempt);
+      outcome.elapsed_ms +=
+          std::min(delivery.latency_ms, policy_.attempt_timeout_ms);
+      for (std::vector<uint8_t>& frame : delivery.frames) {
+        switch (Accept(frame, shard, have_report, accepted)) {
+          case FrameResult::kAccepted:
+            have_report = true;
+            break;
+          case FrameResult::kDuplicate:
+            ++outcome.duplicates;
+            break;
+          case FrameResult::kMalformed:
+            ++outcome.malformed;
+            break;
+          case FrameResult::kIncompatible:
+            incompatible = true;
+            break;
+        }
+      }
+      if (have_report) {
+        outcome.status = ShardOutcome::Status::kReceived;
+        break;
+      }
+      // An intact, decodable report that fails validation is a
+      // configuration error on the worker, not a transient network fault:
+      // retrying would fetch the same incompatible report again. Give the
+      // shard up immediately.
+      if (incompatible) break;
+    }
+    return outcome;
+  }
+
+  enum class FrameResult { kAccepted, kDuplicate, kMalformed, kIncompatible };
+
+  FrameResult Accept(const std::vector<uint8_t>& frame, uint64_t shard,
+                     bool have_report, std::vector<S>* accepted) {
+    std::optional<WireReport> report = DecodeReportFrame(frame);
+    if (!report.has_value()) return FrameResult::kMalformed;
+    // A frame for another shard or epoch is a routing error, not a valid
+    // report; stragglers from past epochs land here too.
+    if (report->shard_id != shard || report->epoch != epoch_) {
+      return FrameResult::kMalformed;
+    }
+    if (have_report) return FrameResult::kDuplicate;
+    ByteReader payload(report->payload);
+    std::optional<S> summary = S::DecodeFrom(payload);
+    if (!summary.has_value() || !payload.Exhausted()) {
+      return FrameResult::kMalformed;
+    }
+    if (validate_ != nullptr && !validate_(*summary)) {
+      ++incompatible_;
+      return FrameResult::kIncompatible;
+    }
+    accepted->push_back(std::move(*summary));
+    return FrameResult::kAccepted;
+  }
+
+  uint64_t epoch_;
+  BackoffPolicy policy_;
+  MergeTopology topology_;
+  Rng rng_;
+  bool (*validate_)(const S&) = nullptr;
+  uint64_t incompatible_ = 0;
+};
+
+// Worker-side convenience: encodes `summary` into a framed report for
+// (shard_id, epoch).
+template <WireSummary S>
+std::vector<uint8_t> MakeReportFrame(const S& summary, uint64_t shard_id,
+                                     uint64_t epoch) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  WireReport report;
+  report.shard_id = shard_id;
+  report.epoch = epoch;
+  report.payload = writer.TakeBytes();
+  return EncodeReportFrame(report);
+}
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_COORDINATOR_H_

@@ -1,0 +1,113 @@
+#include "mergeable/aggregate/fault.h"
+
+#include <utility>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// Uniform double in [0, 1) from a SplitMix64 stream.
+double NextUniform(uint64_t& state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::Decide(uint64_t shard_id, uint32_t attempt) const {
+  FaultDecision decision;
+  decision.latency_ms = spec_.base_latency_ms;
+  if (IsDead(shard_id)) {
+    decision.drop = true;
+    return decision;
+  }
+  // One independent SplitMix64 stream per (seed, shard, attempt): the
+  // decision never depends on call order.
+  uint64_t state = MixHash(shard_id * 0x9e3779b97f4a7c15ULL + attempt, seed_);
+  decision.mutation_seed = SplitMix64(state);
+  decision.drop = NextUniform(state) < spec_.drop_probability;
+  decision.duplicate = NextUniform(state) < spec_.duplicate_probability;
+  decision.truncate = NextUniform(state) < spec_.truncate_probability;
+  decision.bit_flip = NextUniform(state) < spec_.bit_flip_probability;
+  decision.delayed = NextUniform(state) < spec_.delay_probability;
+  if (decision.delayed) decision.latency_ms = spec_.delay_ms;
+  return decision;
+}
+
+void ApplyTruncate(std::vector<uint8_t>& frame, uint64_t seed) {
+  if (frame.empty()) return;
+  uint64_t state = seed;
+  const size_t keep = SplitMix64(state) % frame.size();
+  frame.resize(keep);
+}
+
+void ApplyBitFlip(std::vector<uint8_t>& frame, uint64_t seed) {
+  if (frame.empty()) return;
+  uint64_t state = seed;
+  const size_t bit = SplitMix64(state) % (frame.size() * 8);
+  frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void SimulatedTransport::Submit(uint64_t shard_id,
+                                std::vector<uint8_t> frame) {
+  MERGEABLE_CHECK_MSG(frames_.count(shard_id) == 0,
+                      "one frame per shard per epoch");
+  frames_[shard_id] = std::move(frame);
+}
+
+std::vector<uint8_t> SimulatedTransport::CorruptedCopy(
+    const std::vector<uint8_t>& frame, const FaultDecision& decision) {
+  std::vector<uint8_t> copy = frame;
+  uint64_t state = decision.mutation_seed;
+  if (decision.truncate) {
+    ApplyTruncate(copy, SplitMix64(state));
+    ++corruptions_injected_;
+  }
+  if (decision.bit_flip) {
+    ApplyBitFlip(copy, SplitMix64(state));
+    ++corruptions_injected_;
+  }
+  return copy;
+}
+
+DeliveryAttempt SimulatedTransport::Deliver(uint64_t shard_id,
+                                            uint32_t attempt) {
+  DeliveryAttempt result;
+  result.latency_ms = plan_.spec().base_latency_ms;
+  // Stragglers from earlier attempts arrive first.
+  auto late = late_.find(shard_id);
+  if (late != late_.end()) {
+    result.frames = std::move(late->second);
+    late_.erase(late);
+  }
+  auto it = frames_.find(shard_id);
+  if (it == frames_.end()) return result;  // Unknown shard: nothing sent.
+
+  const FaultDecision decision = plan_.Decide(shard_id, attempt);
+  result.latency_ms = decision.latency_ms;
+  if (decision.drop) {
+    ++drops_injected_;
+    return result;
+  }
+  std::vector<uint8_t> frame = CorruptedCopy(it->second, decision);
+  if (decision.delayed) {
+    // Misses this exchange; queued as a straggler for the next one.
+    ++delays_injected_;
+    late_[shard_id].push_back(std::move(frame));
+    if (decision.duplicate) {
+      ++duplicates_injected_;
+      late_[shard_id].push_back(CorruptedCopy(it->second, decision));
+    }
+    return result;
+  }
+  result.frames.push_back(std::move(frame));
+  if (decision.duplicate) {
+    ++duplicates_injected_;
+    result.frames.push_back(CorruptedCopy(it->second, decision));
+  }
+  return result;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,130 @@
+// Deterministic fault injection for the aggregation pipeline.
+//
+// Production aggregation never sees a clean network: reports straggle,
+// arrive twice, arrive truncated, or never arrive. FaultPlan encodes a
+// fault model as per-attempt probabilities and derives every decision by
+// hashing (seed, shard, attempt), so a given plan injects exactly the
+// same faults on every run — tests and benchmarks are reproducible
+// bit-for-bit, yet statistically faithful across shards.
+//
+// SimulatedTransport applies a FaultPlan to worker-submitted frames and
+// plays the network for the coordinator: each Deliver(shard, attempt)
+// call is one request/response exchange under the plan's faults, with
+// virtual latencies (no wall-clock sleeping anywhere).
+
+#ifndef MERGEABLE_AGGREGATE_FAULT_H_
+#define MERGEABLE_AGGREGATE_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mergeable {
+
+// Per-attempt fault probabilities, each decided independently.
+struct FaultSpec {
+  double drop_probability = 0.0;       // Report vanishes entirely.
+  double duplicate_probability = 0.0;  // Report arrives twice.
+  double truncate_probability = 0.0;   // Frame cut at a random offset.
+  double bit_flip_probability = 0.0;   // One random bit flipped.
+  double delay_probability = 0.0;      // Arrives after delay_ms instead.
+  uint64_t base_latency_ms = 5;        // Healthy round-trip time.
+  uint64_t delay_ms = 500;             // Straggler round-trip time.
+};
+
+// What the plan decided for one (shard, attempt) delivery.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool truncate = false;
+  bool bit_flip = false;
+  bool delayed = false;
+  uint64_t latency_ms = 0;
+  // Seeds the corruption position so truncation/flip points are as
+  // deterministic as the decision itself.
+  uint64_t mutation_seed = 0;
+};
+
+class FaultPlan {
+ public:
+  // A default-constructed plan injects nothing (healthy network).
+  FaultPlan() = default;
+  FaultPlan(const FaultSpec& spec, uint64_t seed) : spec_(spec), seed_(seed) {}
+
+  // Marks a shard as permanently dead: every delivery attempt drops. This
+  // is how tests model lost shards for degraded-coverage accounting.
+  void KillShard(uint64_t shard_id) { dead_shards_.insert(shard_id); }
+
+  bool IsDead(uint64_t shard_id) const {
+    return dead_shards_.count(shard_id) != 0;
+  }
+
+  // The (deterministic) fault decision for one delivery attempt.
+  FaultDecision Decide(uint64_t shard_id, uint32_t attempt) const;
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  uint64_t seed_ = 0;
+  std::unordered_set<uint64_t> dead_shards_;
+};
+
+// Cuts `frame` at a position derived from `seed` (at least one byte is
+// removed; empty frames stay empty).
+void ApplyTruncate(std::vector<uint8_t>& frame, uint64_t seed);
+
+// Flips one bit of `frame` at a position derived from `seed`.
+void ApplyBitFlip(std::vector<uint8_t>& frame, uint64_t seed);
+
+// One request/response exchange as seen by the coordinator.
+struct DeliveryAttempt {
+  // Frames that arrived in this exchange: possibly none (drop/timeout),
+  // possibly several (duplicates, stragglers from earlier attempts).
+  std::vector<std::vector<uint8_t>> frames;
+  // Virtual time the exchange consumed (the coordinator caps this at its
+  // per-attempt timeout).
+  uint64_t latency_ms = 0;
+};
+
+class SimulatedTransport {
+ public:
+  explicit SimulatedTransport(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  // Worker side: registers the pristine frame for `shard_id`.
+  void Submit(uint64_t shard_id, std::vector<uint8_t> frame);
+
+  // Coordinator side: plays one delivery attempt for `shard_id` under the
+  // fault plan. A delayed frame misses its own attempt and is handed over
+  // on the next attempt for that shard instead (a straggler overtaken by
+  // a retry — the classic source of duplicates).
+  DeliveryAttempt Deliver(uint64_t shard_id, uint32_t attempt);
+
+  size_t shard_count() const { return frames_.size(); }
+
+  // Injection counters, for tests and for the example's reporting.
+  uint64_t drops_injected() const { return drops_injected_; }
+  uint64_t duplicates_injected() const { return duplicates_injected_; }
+  uint64_t corruptions_injected() const { return corruptions_injected_; }
+  uint64_t delays_injected() const { return delays_injected_; }
+
+ private:
+  // Applies the decided corruption (if any) to a copy of the frame.
+  std::vector<uint8_t> CorruptedCopy(const std::vector<uint8_t>& frame,
+                                     const FaultDecision& decision);
+
+  FaultPlan plan_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> frames_;
+  // Stragglers: frames delayed past their attempt, delivered next time.
+  std::unordered_map<uint64_t, std::vector<std::vector<uint8_t>>> late_;
+  uint64_t drops_injected_ = 0;
+  uint64_t duplicates_injected_ = 0;
+  uint64_t corruptions_injected_ = 0;
+  uint64_t delays_injected_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_FAULT_H_

@@ -1,0 +1,103 @@
+#include "mergeable/aggregate/fuzz.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace mergeable {
+namespace {
+
+// Values that historically break parsers: zeros, all-ones, powers of two
+// around field-width edges, off-by-one neighbours.
+constexpr uint64_t kInterestingValues[] = {
+    0,          1,          0x7f,        0x80,
+    0xff,       0x100,      0x7fff,      0x8000,
+    0xffff,     0x10000,    0x7fffffff,  0x80000000ULL,
+    0xffffffff, 0x100000000ULL,          0x7fffffffffffffffULL,
+    0x8000000000000000ULL,  0xffffffffffffffffULL,
+};
+
+}  // namespace
+
+void ByteMutator::MutateOnce(std::vector<uint8_t>& bytes,
+                             const std::vector<uint8_t>* splice_donor) {
+  // Mutations that grow an empty buffer come first so fuzzing never gets
+  // stuck on a zero-length input.
+  if (bytes.empty()) {
+    bytes.resize(1 + rng_.UniformInt(16));
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng_.Next());
+    return;
+  }
+  switch (rng_.UniformInt(8)) {
+    case 0: {  // Single bit flip.
+      const size_t bit = rng_.UniformInt(bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case 1: {  // Smash one byte.
+      bytes[rng_.UniformInt(bytes.size())] =
+          static_cast<uint8_t>(rng_.Next());
+      break;
+    }
+    case 2: {  // Truncate.
+      bytes.resize(rng_.UniformInt(bytes.size()));
+      break;
+    }
+    case 3: {  // Extend with random tail.
+      const size_t extra = 1 + rng_.UniformInt(12);
+      for (size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<uint8_t>(rng_.Next()));
+      }
+      break;
+    }
+    case 4: {  // Overwrite an aligned-ish field with an interesting value.
+      const uint64_t value =
+          kInterestingValues[rng_.UniformInt(std::size(kInterestingValues))];
+      const size_t width = rng_.Bernoulli(0.5) ? 4 : 8;
+      if (bytes.size() < width) break;
+      const size_t at = rng_.UniformInt(bytes.size() - width + 1);
+      for (size_t i = 0; i < width; ++i) {
+        bytes[at + i] = static_cast<uint8_t>(value >> (8 * i));
+      }
+      break;
+    }
+    case 5: {  // Zero a chunk.
+      const size_t at = rng_.UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - at, 1 + rng_.UniformInt(uint64_t{16}));
+      std::fill(bytes.begin() + static_cast<long>(at),
+                bytes.begin() + static_cast<long>(at + len), uint8_t{0});
+      break;
+    }
+    case 6: {  // Duplicate a chunk in place (shifts the tail).
+      const size_t at = rng_.UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - at, 1 + rng_.UniformInt(uint64_t{16}));
+      std::vector<uint8_t> chunk(bytes.begin() + static_cast<long>(at),
+                                 bytes.begin() + static_cast<long>(at + len));
+      bytes.insert(bytes.begin() + static_cast<long>(at), chunk.begin(),
+                   chunk.end());
+      break;
+    }
+    case 7: {  // Splice: replace the tail with a donor's tail.
+      if (splice_donor == nullptr || splice_donor->empty()) break;
+      const size_t keep = rng_.UniformInt(bytes.size());
+      const size_t from = rng_.UniformInt(splice_donor->size());
+      bytes.resize(keep);
+      bytes.insert(bytes.end(),
+                   splice_donor->begin() + static_cast<long>(from),
+                   splice_donor->end());
+      break;
+    }
+  }
+}
+
+std::vector<uint8_t> ByteMutator::Mutate(
+    const std::vector<uint8_t>& bytes,
+    const std::vector<uint8_t>* splice_donor) {
+  std::vector<uint8_t> mutated = bytes;
+  const uint64_t rounds = 1 + rng_.UniformInt(4);
+  for (uint64_t i = 0; i < rounds; ++i) MutateOnce(mutated, splice_donor);
+  return mutated;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,102 @@
+// Structure-aware decode fuzzing for summary wire formats.
+//
+// Every summary decoder is a parser of untrusted network bytes, so each
+// one gets the same treatment: take real encodings as a corpus, apply
+// stacked random mutations (bit flips, byte smashes, truncation,
+// extension, chunk duplication/zeroing, interesting integer values,
+// cross-corpus splices), and feed the result to DecodeFrom. The harness
+// asserts the only two acceptable outcomes:
+//
+//   1. the decoder rejects cleanly (std::nullopt, no crash, no abort,
+//      no sanitizer report, no unbounded allocation), or
+//   2. the decoder accepts and the result is self-consistent: it
+//      re-encodes, the re-encoding decodes, and a second round trip is a
+//      byte-for-byte fixed point (encode(decode(encode(s))) == encode(s)).
+//
+// Run under MERGEABLE_SANITIZE (ASan+UBSan) via `ctest -L fuzz`.
+
+#ifndef MERGEABLE_AGGREGATE_FUZZ_H_
+#define MERGEABLE_AGGREGATE_FUZZ_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mergeable/core/concepts.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// Applies 1..4 stacked structure-unaware mutations per call. The
+// mutation budget is deliberately larger than one bit flip: multi-field
+// corruption reaches states a single flip cannot (e.g. a huge length
+// field combined with a matching count).
+class ByteMutator {
+ public:
+  explicit ByteMutator(uint64_t seed) : rng_(seed) {}
+
+  // Returns a mutated copy of `bytes`; `splice_donor` (optional) provides
+  // foreign material for splice mutations.
+  std::vector<uint8_t> Mutate(const std::vector<uint8_t>& bytes,
+                              const std::vector<uint8_t>* splice_donor);
+
+ private:
+  void MutateOnce(std::vector<uint8_t>& bytes,
+                  const std::vector<uint8_t>* splice_donor);
+
+  Rng rng_;
+};
+
+// Aggregate outcome of one fuzz run; tests assert on these.
+struct FuzzStats {
+  uint64_t iterations = 0;
+  uint64_t rejected = 0;           // DecodeFrom returned nullopt.
+  uint64_t accepted = 0;           // Decoded a (mutated) summary.
+  uint64_t reencode_failures = 0;  // Accepted but not self-consistent.
+};
+
+// Fuzzes T::DecodeFrom with `iterations` mutated inputs drawn from
+// `corpus` (real encodings of T). Self-consistency of every accepted
+// decode is verified as described above; violations are counted in
+// reencode_failures (the test asserts zero).
+template <WireCodec T>
+FuzzStats FuzzDecode(const std::vector<std::vector<uint8_t>>& corpus,
+                     uint64_t iterations, uint64_t seed) {
+  ByteMutator mutator(seed);
+  Rng rng(seed ^ 0xf022f0f5a5a5a5a5ULL);
+  FuzzStats stats;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const std::vector<uint8_t>& base =
+        corpus[rng.UniformInt(corpus.size())];
+    const std::vector<uint8_t>& donor =
+        corpus[rng.UniformInt(corpus.size())];
+    const std::vector<uint8_t> mutated = mutator.Mutate(base, &donor);
+    ++stats.iterations;
+    ByteReader reader(mutated);
+    std::optional<T> decoded = T::DecodeFrom(reader);
+    if (!decoded.has_value()) {
+      ++stats.rejected;
+      continue;
+    }
+    ++stats.accepted;
+    // Self-consistency: the accepted summary must re-encode to bytes
+    // that decode, and the second round trip must be a fixed point.
+    ByteWriter first;
+    decoded->EncodeTo(first);
+    ByteReader reread(first.bytes());
+    std::optional<T> second = T::DecodeFrom(reread);
+    if (!second.has_value() || !reread.Exhausted()) {
+      ++stats.reencode_failures;
+      continue;
+    }
+    ByteWriter again;
+    second->EncodeTo(again);
+    if (again.bytes() != first.bytes()) ++stats.reencode_failures;
+  }
+  return stats;
+}
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_FUZZ_H_

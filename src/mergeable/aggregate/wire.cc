@@ -1,0 +1,60 @@
+#include "mergeable/aggregate/wire.h"
+
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+namespace {
+
+// 'R' 'P' 'T' '1' read as a little-endian u32.
+constexpr uint32_t kReportMagic = 0x31545052;
+
+}  // namespace
+
+uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
+                       const std::vector<uint8_t>& payload) {
+  uint64_t h = MixHash(shard_id, /*seed=*/0x52505431);
+  h = MixHash(epoch, h);
+  h = MixHash(payload.size(), h);
+  size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    uint64_t word = 0;
+    for (int b = 7; b >= 0; --b) word = (word << 8) | payload[i + b];
+    h = MixHash(word, h);
+  }
+  uint64_t tail = 0;
+  for (size_t j = payload.size(); j > i; --j) {
+    tail = (tail << 8) | payload[j - 1];
+  }
+  return MixHash(tail, h);
+}
+
+std::vector<uint8_t> EncodeReportFrame(const WireReport& report) {
+  ByteWriter writer;
+  writer.PutU32(kReportMagic);
+  writer.PutU64(report.shard_id);
+  writer.PutU64(report.epoch);
+  writer.PutBytes(report.payload);
+  writer.PutU64(FrameChecksum(report.shard_id, report.epoch, report.payload));
+  return writer.TakeBytes();
+}
+
+std::optional<WireReport> DecodeReportFrame(
+    const std::vector<uint8_t>& frame) {
+  ByteReader reader(frame);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic) || magic != kReportMagic) return std::nullopt;
+  WireReport report;
+  if (!reader.GetU64(&report.shard_id) || !reader.GetU64(&report.epoch)) {
+    return std::nullopt;
+  }
+  if (!reader.GetBytes(&report.payload)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum) || !reader.Exhausted()) return std::nullopt;
+  if (checksum !=
+      FrameChecksum(report.shard_id, report.epoch, report.payload)) {
+    return std::nullopt;
+  }
+  return report;
+}
+
+}  // namespace mergeable

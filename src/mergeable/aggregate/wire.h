@@ -1,0 +1,52 @@
+// Report framing for the aggregation pipeline.
+//
+// A worker ships its summary to the coordinator inside a frame that
+// carries enough metadata to survive a hostile network: a magic tag, the
+// shard id and epoch (the dedup key), a length-prefixed payload, and a
+// checksum over all of it. The coordinator rejects any frame whose
+// checksum does not match, so truncation and bit corruption are caught
+// before the payload ever reaches a summary decoder; the decoders'
+// own validation is the second line of defense, not the first.
+//
+// Frame layout (little-endian, see util/bytes.h):
+//
+//   u32  magic        'R','P','T','1'
+//   u64  shard_id
+//   u64  epoch
+//   u32  payload_len  followed by payload_len raw payload bytes
+//   u64  checksum     FrameChecksum(shard_id, epoch, payload)
+
+#ifndef MERGEABLE_AGGREGATE_WIRE_H_
+#define MERGEABLE_AGGREGATE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mergeable/util/bytes.h"
+
+namespace mergeable {
+
+// One worker report: which shard produced it, in which aggregation
+// round, and the encoded summary bytes.
+struct WireReport {
+  uint64_t shard_id = 0;
+  uint64_t epoch = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Mixing checksum over the frame header and payload. Not cryptographic:
+// it defends against corruption, not forgery (same trust model as a CRC).
+uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
+                       const std::vector<uint8_t>& payload);
+
+// Serializes `report` as one frame.
+std::vector<uint8_t> EncodeReportFrame(const WireReport& report);
+
+// Parses one frame; std::nullopt on bad magic, truncation, trailing
+// bytes, or checksum mismatch. Never aborts: frames are network data.
+std::optional<WireReport> DecodeReportFrame(const std::vector<uint8_t>& frame);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_WIRE_H_

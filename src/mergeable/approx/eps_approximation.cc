@@ -133,6 +133,9 @@ std::optional<EpsApproximation> EpsApproximation::DecodeFrom(
   for (uint32_t level = 0; level < levels; ++level) {
     uint32_t size = 0;
     if (!reader.GetU32(&size) || size >= buffer_size) return std::nullopt;
+    if (size > reader.remaining() / (2 * sizeof(double))) {
+      return std::nullopt;
+    }
     std::vector<Point2> points(size);
     for (Point2& point : points) {
       if (!reader.GetDouble(&point.x) || !reader.GetDouble(&point.y)) {

@@ -112,6 +112,11 @@ std::optional<EpsKernel> EpsKernel::DecodeFrom(ByteReader& reader) {
     return std::nullopt;
   }
   if (!reader.GetU64(&n)) return std::nullopt;
+  // Exactly 28 bytes per direction must follow; anything else is
+  // malformed, and rejecting early bounds the resize below.
+  if (reader.remaining() != static_cast<size_t>(directions) * 28) {
+    return std::nullopt;
+  }
   EpsKernel kernel(static_cast<int>(directions));
   for (Extreme& extreme : kernel.best_) {
     uint32_t valid = 0;

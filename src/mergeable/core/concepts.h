@@ -8,6 +8,9 @@
 #define MERGEABLE_CORE_CONCEPTS_H_
 
 #include <concepts>
+#include <optional>
+
+#include "mergeable/util/bytes.h"
 
 namespace mergeable {
 
@@ -25,6 +28,23 @@ template <typename S, typename Item>
 concept StreamSummary = Mergeable<S> && requires(S s, Item item) {
   s.Update(item);
 };
+
+// A type with a summary wire format: it serializes to bytes and
+// reconstructs from them, rejecting malformed input via std::nullopt
+// rather than aborting. The decode fuzzer (aggregate/fuzz.h) fuzzes any
+// WireCodec — including one-way-mergeable summaries like GK that have
+// no Merge.
+template <typename S>
+concept WireCodec = requires(const S cs, ByteWriter writer,
+                             ByteReader reader) {
+  cs.EncodeTo(writer);
+  { S::DecodeFrom(reader) } -> std::same_as<std::optional<S>>;
+};
+
+// A mergeable summary that can cross a machine boundary — what the
+// aggregation coordinator (aggregate/coordinator.h) requires.
+template <typename S>
+concept WireSummary = Mergeable<S> && WireCodec<S>;
 
 }  // namespace mergeable
 

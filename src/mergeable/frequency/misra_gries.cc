@@ -10,7 +10,11 @@
 namespace mergeable {
 
 MisraGries::MisraGries(int capacity)
-    : capacity_(capacity), counters_(static_cast<size_t>(capacity) + 1) {
+    : capacity_(capacity),
+      // The map grows on demand, so cap the pre-reserve: capacity can be
+      // wire-controlled (DecodeFrom) and must not drive the allocation.
+      counters_(std::min<size_t>(static_cast<size_t>(capacity) + 1,
+                                 size_t{1} << 16)) {
   MERGEABLE_CHECK_MSG(capacity >= 1, "MisraGries capacity must be >= 1");
 }
 
@@ -179,10 +183,20 @@ void MisraGries::EncodeTo(ByteWriter& writer) const {
   writer.PutU32(static_cast<uint32_t>(capacity_));
   writer.PutU64(n_);
   writer.PutU32(static_cast<uint32_t>(counters_.size()));
-  counters_.ForEach([&writer](uint64_t item, uint64_t count) {
-    writer.PutU64(item);
-    writer.PutU64(count);
+  // Canonical wire order: the map's iteration order depends on its
+  // insertion history, so sort by item to make equal summaries encode to
+  // equal bytes (encode-decode-encode is a fixed point).
+  std::vector<Counter> counters;
+  counters.reserve(counters_.size());
+  counters_.ForEach([&counters](uint64_t item, uint64_t count) {
+    counters.push_back(Counter{item, count});
   });
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter& a, const Counter& b) { return a.item < b.item; });
+  for (const Counter& counter : counters) {
+    writer.PutU64(counter.item);
+    writer.PutU64(counter.count);
+  }
 }
 
 std::optional<MisraGries> MisraGries::DecodeFrom(ByteReader& reader) {
@@ -195,6 +209,11 @@ std::optional<MisraGries> MisraGries::DecodeFrom(ByteReader& reader) {
     return std::nullopt;
   }
   if (!reader.GetU64(&n) || !reader.GetU32(&count) || count > capacity) {
+    return std::nullopt;
+  }
+  // Each counter needs 16 encoded bytes; a `count` the input cannot
+  // back is malformed, and rejecting it here keeps the reserve bounded.
+  if (static_cast<uint64_t>(count) * 16 > reader.remaining()) {
     return std::nullopt;
   }
   std::vector<Counter> counters;

@@ -11,8 +11,13 @@ namespace mergeable {
 
 SpaceSaving::SpaceSaving(int capacity) : capacity_(capacity) {
   MERGEABLE_CHECK_MSG(capacity >= 2, "SpaceSaving capacity must be >= 2");
-  entries_.reserve(static_cast<size_t>(capacity));
-  index_of_.reserve(static_cast<size_t>(capacity) * 2);
+  // Cap the pre-reserve: `capacity` can come off the wire (DecodeFrom),
+  // and a hostile header must not pre-allocate gigabytes. Vectors grow
+  // geometrically past the cap, so large legitimate capacities stay fast.
+  const size_t reserve = std::min<size_t>(static_cast<size_t>(capacity),
+                                          size_t{1} << 16);
+  entries_.reserve(reserve);
+  index_of_.reserve(reserve * 2);
 }
 
 SpaceSaving SpaceSaving::ForEpsilon(double epsilon) {
@@ -297,6 +302,11 @@ std::optional<SpaceSaving> SpaceSaving::DecodeFrom(ByteReader& reader) {
   }
   if (!reader.GetU64(&n) || !reader.GetU64(&under_slack) ||
       !reader.GetU32(&count) || count > capacity) {
+    return std::nullopt;
+  }
+  // Each entry needs 24 encoded bytes; reject counts the input cannot
+  // back before building the summary.
+  if (static_cast<uint64_t>(count) * 24 > reader.remaining()) {
     return std::nullopt;
   }
   SpaceSaving summary(static_cast<int>(capacity));

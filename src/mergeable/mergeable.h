@@ -7,6 +7,10 @@
 #ifndef MERGEABLE_MERGEABLE_H_
 #define MERGEABLE_MERGEABLE_H_
 
+#include "mergeable/aggregate/coordinator.h"
+#include "mergeable/aggregate/fault.h"
+#include "mergeable/aggregate/fuzz.h"
+#include "mergeable/aggregate/wire.h"
 #include "mergeable/approx/eps_approximation.h"
 #include "mergeable/approx/eps_kernel.h"
 #include "mergeable/approx/eps_net.h"

@@ -198,6 +198,9 @@ std::optional<MergeableQuantiles> MergeableQuantiles::DecodeFrom(
   for (uint32_t level = 0; level < levels; ++level) {
     uint32_t size = 0;
     if (!reader.GetU32(&size) || size >= buffer_size) return std::nullopt;
+    // A level size the input cannot back is malformed; checking before
+    // the allocation keeps corrupted headers from reserving gigabytes.
+    if (size > reader.remaining() / sizeof(double)) return std::nullopt;
     std::vector<double> values(size);
     for (double& value : values) {
       if (!reader.GetDouble(&value)) return std::nullopt;

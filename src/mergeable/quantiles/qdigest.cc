@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "mergeable/util/check.h"
 
@@ -150,7 +152,13 @@ void QDigest::EncodeTo(ByteWriter& writer) const {
   writer.PutU64(k_);
   writer.PutU64(n_);
   writer.PutU32(static_cast<uint32_t>(nodes_.size()));
-  for (const auto& [id, count] : nodes_) {
+  // Canonical wire order: the node map's iteration order depends on its
+  // insertion history, so sort by node id to make equal digests encode
+  // to equal bytes (encode-decode-encode is a fixed point).
+  std::vector<std::pair<uint64_t, uint64_t>> nodes(nodes_.begin(),
+                                                   nodes_.end());
+  std::sort(nodes.begin(), nodes.end());
+  for (const auto& [id, count] : nodes) {
     writer.PutU64(id);
     writer.PutU64(count);
   }

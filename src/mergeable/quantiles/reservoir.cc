@@ -25,7 +25,9 @@ void TakeUniform(std::vector<double>& values, size_t take, Rng& rng) {
 ReservoirSample::ReservoirSample(int sample_size, uint64_t seed)
     : sample_size_(sample_size), rng_(seed) {
   MERGEABLE_CHECK_MSG(sample_size >= 1, "sample_size must be >= 1");
-  values_.reserve(static_cast<size_t>(sample_size));
+  // Capped pre-reserve: `sample_size` can come off the wire (DecodeFrom).
+  values_.reserve(
+      std::min<size_t>(static_cast<size_t>(sample_size), size_t{1} << 16));
 }
 
 void ReservoirSample::Update(double value) {
@@ -129,6 +131,7 @@ std::optional<ReservoirSample> ReservoirSample::DecodeFrom(
   }
   // A reservoir is full whenever n >= sample_size.
   if (size != std::min<uint64_t>(sample_size, n)) return std::nullopt;
+  if (size > reader.remaining() / sizeof(double)) return std::nullopt;
   ReservoirSample sample(static_cast<int>(sample_size), /*seed=*/n ^ size);
   sample.values_.resize(size);
   for (double& value : sample.values_) {

@@ -9,7 +9,8 @@ namespace mergeable {
 
 KmvSketch::KmvSketch(int k, uint64_t seed) : k_(k), seed_(seed) {
   MERGEABLE_CHECK_MSG(k >= 2, "KMV needs k >= 2");
-  heap_.reserve(static_cast<size_t>(k));
+  // Capped pre-reserve: `k` can come off the wire via DecodeFrom.
+  heap_.reserve(std::min<size_t>(static_cast<size_t>(k), size_t{1} << 16));
 }
 
 void KmvSketch::Add(uint64_t item) { Insert(MixHash(item, seed_)); }
@@ -67,6 +68,9 @@ std::optional<KmvSketch> KmvSketch::DecodeFrom(ByteReader& reader) {
   if (!reader.GetU32(&magic) || magic != kKmvMagic) return std::nullopt;
   if (!reader.GetU32(&k) || k < 2 || k > (1u << 28)) return std::nullopt;
   if (!reader.GetU64(&seed) || !reader.GetU32(&size) || size > k) {
+    return std::nullopt;
+  }
+  if (static_cast<uint64_t>(size) * sizeof(uint64_t) > reader.remaining()) {
     return std::nullopt;
   }
   KmvSketch sketch(static_cast<int>(k), seed);

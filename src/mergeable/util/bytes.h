@@ -2,26 +2,75 @@
 //
 // Summaries exist to be shipped between machines and merged, so every
 // major summary supports EncodeTo / DecodeFrom using these helpers.
-// ByteReader is bounds-checked and never aborts on malformed input:
-// reads report failure and decoders return std::nullopt, because bytes
-// from the network are data, not programmer error.
+// The wire format is little-endian regardless of the host: writers
+// byte-swap on big-endian machines and readers swap back, so bytes
+// produced on any host decode on any other. ByteReader is
+// bounds-checked and never aborts on malformed input: reads report
+// failure and decoders return std::nullopt, because bytes from the
+// network are data, not programmer error.
 
 #ifndef MERGEABLE_UTIL_BYTES_H_
 #define MERGEABLE_UTIL_BYTES_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 namespace mergeable {
+namespace internal {
+
+constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+inline uint32_t ByteSwap32(uint32_t value) {
+  return ((value & 0x000000ffu) << 24) | ((value & 0x0000ff00u) << 8) |
+         ((value & 0x00ff0000u) >> 8) | ((value & 0xff000000u) >> 24);
+}
+
+inline uint64_t ByteSwap64(uint64_t value) {
+  return (static_cast<uint64_t>(ByteSwap32(static_cast<uint32_t>(value)))
+          << 32) |
+         ByteSwap32(static_cast<uint32_t>(value >> 32));
+}
+
+inline uint32_t HostToLittle32(uint32_t value) {
+  return kHostIsLittleEndian ? value : ByteSwap32(value);
+}
+inline uint64_t HostToLittle64(uint64_t value) {
+  return kHostIsLittleEndian ? value : ByteSwap64(value);
+}
+// The swaps are involutions, so reading reuses them.
+inline uint32_t LittleToHost32(uint32_t value) { return HostToLittle32(value); }
+inline uint64_t LittleToHost64(uint64_t value) { return HostToLittle64(value); }
+
+}  // namespace internal
 
 class ByteWriter {
  public:
-  void PutU32(uint32_t value) { PutRaw(&value, sizeof(value)); }
-  void PutU64(uint64_t value) { PutRaw(&value, sizeof(value)); }
-  void PutI64(int64_t value) { PutRaw(&value, sizeof(value)); }
-  void PutDouble(double value) { PutRaw(&value, sizeof(value)); }
+  void PutU32(uint32_t value) {
+    value = internal::HostToLittle32(value);
+    PutRaw(&value, sizeof(value));
+  }
+  void PutU64(uint64_t value) {
+    value = internal::HostToLittle64(value);
+    PutRaw(&value, sizeof(value));
+  }
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
+  void PutDouble(double value) { PutU64(std::bit_cast<uint64_t>(value)); }
+
+  // Writes `size` raw bytes prefixed by a u32 length, so the matching
+  // GetBytes can frame variable-length payloads (e.g. nested encodings).
+  // Payloads are limited to 4 GiB by the u32 prefix; callers framing
+  // summaries are far below that.
+  void PutBytes(const uint8_t* data, size_t size) {
+    PutU32(static_cast<uint32_t>(size));
+    PutRaw(data, size);
+  }
+  void PutBytes(const std::vector<uint8_t>& bytes) {
+    PutBytes(bytes.data(), bytes.size());
+  }
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
@@ -42,10 +91,40 @@ class ByteReader {
   explicit ByteReader(const std::vector<uint8_t>& bytes)
       : ByteReader(bytes.data(), bytes.size()) {}
 
-  bool GetU32(uint32_t* value) { return GetRaw(value, sizeof(*value)); }
-  bool GetU64(uint64_t* value) { return GetRaw(value, sizeof(*value)); }
-  bool GetI64(int64_t* value) { return GetRaw(value, sizeof(*value)); }
-  bool GetDouble(double* value) { return GetRaw(value, sizeof(*value)); }
+  bool GetU32(uint32_t* value) {
+    if (!GetRaw(value, sizeof(*value))) return false;
+    *value = internal::LittleToHost32(*value);
+    return true;
+  }
+  bool GetU64(uint64_t* value) {
+    if (!GetRaw(value, sizeof(*value))) return false;
+    *value = internal::LittleToHost64(*value);
+    return true;
+  }
+  bool GetI64(int64_t* value) {
+    uint64_t raw = 0;
+    if (!GetU64(&raw)) return false;
+    *value = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool GetDouble(double* value) {
+    uint64_t raw = 0;
+    if (!GetU64(&raw)) return false;
+    *value = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  // Reads a PutBytes frame. The declared length is validated against the
+  // remaining input before anything is allocated, so a corrupted length
+  // prefix cannot trigger a multi-gigabyte allocation.
+  bool GetBytes(std::vector<uint8_t>* out) {
+    uint32_t length = 0;
+    if (!GetU32(&length)) return false;
+    if (remaining() < length) return false;
+    out->assign(data_ + position_, data_ + position_ + length);
+    position_ += length;
+    return true;
+  }
 
   // True when every byte has been consumed (decoders use this to reject
   // trailing garbage).

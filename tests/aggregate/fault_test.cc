@@ -1,0 +1,173 @@
+// FaultPlan / SimulatedTransport tests: decisions are deterministic,
+// rates are statistically honored, corruption mutators do what they say,
+// and the transport plays drops, duplicates, stragglers and corruption
+// the way the coordinator expects.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/fault.h"
+
+namespace mergeable {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsHealthy) {
+  FaultPlan plan;
+  for (uint64_t shard = 0; shard < 64; ++shard) {
+    const FaultDecision decision = plan.Decide(shard, 0);
+    EXPECT_FALSE(decision.drop || decision.duplicate || decision.truncate ||
+                 decision.bit_flip || decision.delayed);
+  }
+}
+
+TEST(FaultPlanTest, DecisionsAreDeterministic) {
+  FaultSpec spec;
+  spec.drop_probability = 0.3;
+  spec.duplicate_probability = 0.3;
+  spec.truncate_probability = 0.3;
+  spec.bit_flip_probability = 0.3;
+  spec.delay_probability = 0.3;
+  const FaultPlan a(spec, 99);
+  const FaultPlan b(spec, 99);
+  for (uint64_t shard = 0; shard < 32; ++shard) {
+    for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+      const FaultDecision da = a.Decide(shard, attempt);
+      const FaultDecision db = b.Decide(shard, attempt);
+      EXPECT_EQ(da.drop, db.drop);
+      EXPECT_EQ(da.duplicate, db.duplicate);
+      EXPECT_EQ(da.truncate, db.truncate);
+      EXPECT_EQ(da.bit_flip, db.bit_flip);
+      EXPECT_EQ(da.delayed, db.delayed);
+      EXPECT_EQ(da.mutation_seed, db.mutation_seed);
+    }
+  }
+}
+
+TEST(FaultPlanTest, SeedsChangeDecisions) {
+  FaultSpec spec;
+  spec.drop_probability = 0.5;
+  const FaultPlan a(spec, 1);
+  const FaultPlan b(spec, 2);
+  int differing = 0;
+  for (uint64_t shard = 0; shard < 256; ++shard) {
+    if (a.Decide(shard, 0).drop != b.Decide(shard, 0).drop) ++differing;
+  }
+  EXPECT_GT(differing, 32);  // ~50% expected.
+}
+
+TEST(FaultPlanTest, RatesAreHonored) {
+  FaultSpec spec;
+  spec.drop_probability = 0.2;
+  const FaultPlan plan(spec, 7);
+  int drops = 0;
+  const int trials = 10000;
+  for (int shard = 0; shard < trials; ++shard) {
+    if (plan.Decide(static_cast<uint64_t>(shard), 0).drop) ++drops;
+  }
+  // 3-sigma window around 2000 is about +-120.
+  EXPECT_NEAR(drops, trials * 0.2, 150);
+}
+
+TEST(FaultPlanTest, KilledShardAlwaysDrops) {
+  FaultPlan plan;  // Zero fault rates otherwise.
+  plan.KillShard(5);
+  EXPECT_TRUE(plan.IsDead(5));
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_TRUE(plan.Decide(5, attempt).drop);
+    EXPECT_FALSE(plan.Decide(4, attempt).drop);
+  }
+}
+
+TEST(FaultMutatorTest, TruncateShortensDeterministically) {
+  const std::vector<uint8_t> original(100, 0xab);
+  std::vector<uint8_t> a = original;
+  std::vector<uint8_t> b = original;
+  ApplyTruncate(a, 123);
+  ApplyTruncate(b, 123);
+  EXPECT_LT(a.size(), original.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultMutatorTest, BitFlipChangesExactlyOneBit) {
+  const std::vector<uint8_t> original(64, 0);
+  std::vector<uint8_t> flipped = original;
+  ApplyBitFlip(flipped, 77);
+  int bits_changed = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    uint8_t diff = static_cast<uint8_t>(original[i] ^ flipped[i]);
+    while (diff != 0) {
+      bits_changed += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(bits_changed, 1);
+}
+
+TEST(SimulatedTransportTest, HealthyDeliveryReturnsTheFrame) {
+  SimulatedTransport transport{FaultPlan()};
+  transport.Submit(0, {1, 2, 3});
+  const DeliveryAttempt attempt = transport.Deliver(0, 0);
+  ASSERT_EQ(attempt.frames.size(), 1u);
+  EXPECT_EQ(attempt.frames[0], (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(SimulatedTransportTest, UnknownShardDeliversNothing) {
+  SimulatedTransport transport{FaultPlan()};
+  transport.Submit(0, {1});
+  EXPECT_TRUE(transport.Deliver(99, 0).frames.empty());
+}
+
+TEST(SimulatedTransportTest, DeadShardNeverDelivers) {
+  FaultPlan plan;
+  plan.KillShard(3);
+  SimulatedTransport transport{plan};
+  transport.Submit(3, {1, 2, 3});
+  for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_TRUE(transport.Deliver(3, attempt).frames.empty());
+  }
+  EXPECT_EQ(transport.drops_injected(), 6u);
+}
+
+TEST(SimulatedTransportTest, DuplicateDeliversTwoFrames) {
+  FaultSpec spec;
+  spec.duplicate_probability = 1.0;
+  SimulatedTransport transport{FaultPlan(spec, 1)};
+  transport.Submit(0, {9, 9, 9});
+  const DeliveryAttempt attempt = transport.Deliver(0, 0);
+  ASSERT_EQ(attempt.frames.size(), 2u);
+  EXPECT_EQ(attempt.frames[0], attempt.frames[1]);
+  EXPECT_EQ(transport.duplicates_injected(), 1u);
+}
+
+TEST(SimulatedTransportTest, DelayedFrameArrivesOnNextAttempt) {
+  FaultSpec spec;
+  spec.delay_probability = 1.0;
+  spec.delay_ms = 400;
+  SimulatedTransport transport{FaultPlan(spec, 2)};
+  transport.Submit(0, {5, 5});
+  const DeliveryAttempt first = transport.Deliver(0, 0);
+  EXPECT_TRUE(first.frames.empty());       // Straggling...
+  EXPECT_EQ(first.latency_ms, 400u);
+  const DeliveryAttempt second = transport.Deliver(0, 1);
+  // The attempt-0 straggler arrives now (attempt 1's own frame is also
+  // delayed, so exactly one frame shows up).
+  ASSERT_EQ(second.frames.size(), 1u);
+  EXPECT_EQ(second.frames[0], (std::vector<uint8_t>{5, 5}));
+}
+
+TEST(SimulatedTransportTest, CorruptionChangesTheFrame) {
+  FaultSpec spec;
+  spec.bit_flip_probability = 1.0;
+  SimulatedTransport transport{FaultPlan(spec, 3)};
+  const std::vector<uint8_t> pristine(32, 0x55);
+  transport.Submit(0, pristine);
+  const DeliveryAttempt attempt = transport.Deliver(0, 0);
+  ASSERT_EQ(attempt.frames.size(), 1u);
+  EXPECT_NE(attempt.frames[0], pristine);
+  EXPECT_GE(transport.corruptions_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace mergeable

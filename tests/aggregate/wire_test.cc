@@ -1,0 +1,96 @@
+// Report frame tests: round trip, checksum rejection of every
+// single-bit corruption, and framing-level malformations.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/wire.h"
+
+namespace mergeable {
+namespace {
+
+WireReport TestReport() {
+  WireReport report;
+  report.shard_id = 42;
+  report.epoch = 7;
+  report.payload = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03,
+                    0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  return report;
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const WireReport report = TestReport();
+  const auto frame = EncodeReportFrame(report);
+  const auto decoded = DecodeReportFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shard_id, report.shard_id);
+  EXPECT_EQ(decoded->epoch, report.epoch);
+  EXPECT_EQ(decoded->payload, report.payload);
+}
+
+TEST(WireTest, EmptyPayloadRoundTrip) {
+  WireReport report;
+  report.shard_id = 1;
+  report.epoch = 2;
+  const auto decoded = DecodeReportFrame(EncodeReportFrame(report));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(WireTest, EveryBitFlipIsRejected) {
+  const auto frame = EncodeReportFrame(TestReport());
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<uint8_t> corrupted = frame;
+    corrupted[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(DecodeReportFrame(corrupted).has_value())
+        << "bit " << bit << " flip was accepted";
+  }
+}
+
+TEST(WireTest, EveryTruncationIsRejected) {
+  const auto frame = EncodeReportFrame(TestReport());
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<uint8_t> truncated(frame.begin(),
+                                   frame.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeReportFrame(truncated).has_value())
+        << "truncation at " << cut << " was accepted";
+  }
+}
+
+TEST(WireTest, TrailingBytesAreRejected) {
+  auto frame = EncodeReportFrame(TestReport());
+  frame.push_back(0);
+  EXPECT_FALSE(DecodeReportFrame(frame).has_value());
+}
+
+TEST(WireTest, EmptyInputIsRejected) {
+  EXPECT_FALSE(DecodeReportFrame({}).has_value());
+}
+
+TEST(WireTest, ChecksumCoversHeaderFields) {
+  // Two frames differing only in shard id / epoch must have different
+  // checksums (the dedup key is integrity-protected).
+  WireReport a = TestReport();
+  WireReport b = TestReport();
+  b.shard_id = 43;
+  WireReport c = TestReport();
+  c.epoch = 8;
+  EXPECT_NE(FrameChecksum(a.shard_id, a.epoch, a.payload),
+            FrameChecksum(b.shard_id, b.epoch, b.payload));
+  EXPECT_NE(FrameChecksum(a.shard_id, a.epoch, a.payload),
+            FrameChecksum(c.shard_id, c.epoch, c.payload));
+}
+
+TEST(WireTest, ChecksumDependsOnPayloadTail) {
+  // The tail bytes (beyond the last full 8-byte word) must be covered.
+  WireReport a = TestReport();
+  WireReport b = TestReport();
+  b.payload.back() ^= 1;
+  EXPECT_NE(FrameChecksum(a.shard_id, a.epoch, a.payload),
+            FrameChecksum(b.shard_id, b.epoch, b.payload));
+}
+
+}  // namespace
+}  // namespace mergeable
