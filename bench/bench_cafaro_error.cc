@@ -290,4 +290,4 @@ int Main() {
 }  // namespace
 }  // namespace mergeable::bench
 
-int main() { return mergeable::bench::Main(); }
+int main() { return mergeable::bench::RunAndDump("cafaro_error", mergeable::bench::Main); }

@@ -94,4 +94,4 @@ int Main() {
 }  // namespace
 }  // namespace mergeable::bench
 
-int main() { return mergeable::bench::Main(); }
+int main() { return mergeable::bench::RunAndDump("eps_approx", mergeable::bench::Main); }

@@ -110,4 +110,4 @@ int Main() {
 }  // namespace
 }  // namespace mergeable::bench
 
-int main() { return mergeable::bench::Main(); }
+int main() { return mergeable::bench::RunAndDump("kernel", mergeable::bench::Main); }

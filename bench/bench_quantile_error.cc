@@ -165,4 +165,4 @@ int Main() {
 }  // namespace
 }  // namespace mergeable::bench
 
-int main() { return mergeable::bench::Main(); }
+int main() { return mergeable::bench::RunAndDump("quantile_error", mergeable::bench::Main); }

@@ -280,4 +280,4 @@ int Main() {
 }  // namespace
 }  // namespace mergeable::bench
 
-int main() { return mergeable::bench::Main(); }
+int main() { return mergeable::bench::RunAndDump("table1", mergeable::bench::Main); }

@@ -3,8 +3,14 @@
 // Engineering numbers, not paper claims: how fast each summary ingests
 // items, merges, and answers queries. Includes the SpaceSaving ablation
 // (heap update path) called out in DESIGN.md §5.
+//
+// Like the table benches (bench_util.h), this binary mirrors its
+// results to BENCH_throughput.json — via google-benchmark's own JSON
+// reporter, defaulted below unless the caller overrides --benchmark_out.
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -248,4 +254,26 @@ BENCHMARK(BM_QuantileQuery);
 }  // namespace
 }  // namespace mergeable
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Default the machine-readable mirror; an explicit --benchmark_out on
+  // the command line wins.
+  std::string out_flag = "--benchmark_out=BENCH_throughput.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,17 +2,35 @@
 //
 // Each bench regenerates one experiment from DESIGN.md §4 and prints an
 // aligned table to stdout; EXPERIMENTS.md records the interpretation.
+// Alongside the human-readable tables every bench writes a
+// machine-readable mirror, BENCH_<name>.json, in the working directory:
+// PrintHeader/PrintRow record what they print, and RunAndDump flushes
+// the recording when the bench's Main() succeeds. Numeric-looking cells
+// are emitted as JSON numbers so downstream tooling can plot without
+// re-parsing the table text.
 
 #ifndef MERGEABLE_BENCH_BENCH_UTIL_H_
 #define MERGEABLE_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace mergeable::bench {
+
+struct JsonTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+inline std::vector<JsonTable>& JsonTables() {
+  static std::vector<JsonTable> tables;
+  return tables;
+}
 
 // Prints a row of right-aligned cells, 14 characters wide, first cell 28.
 inline void PrintRow(const std::vector<std::string>& cells) {
@@ -20,14 +38,94 @@ inline void PrintRow(const std::vector<std::string>& cells) {
     std::printf(i == 0 ? "%-28s" : "%14s", cells[i].c_str());
   }
   std::printf("\n");
+  if (!JsonTables().empty()) JsonTables().back().rows.push_back(cells);
 }
 
 inline void PrintHeader(const std::string& title,
                         const std::vector<std::string>& columns) {
   std::printf("\n=== %s ===\n", title.c_str());
-  PrintRow(columns);
+  // The column row prints directly (it is not a data row).
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf(i == 0 ? "%-28s" : "%14s", columns[i].c_str());
+  }
+  std::printf("\n");
   size_t width = 28 + 14 * (columns.size() - 1);
   std::printf("%s\n", std::string(width, '-').c_str());
+  JsonTables().push_back(JsonTable{title, columns, {}});
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// A cell that parses fully as a finite double is emitted as a number.
+inline std::string JsonCell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0') return cell;
+  }
+  // Built with append instead of operator+ chains: GCC 12's -O3 inliner
+  // raises a -Wrestrict false positive on the latter.
+  std::string quoted = "\"";
+  quoted += JsonEscape(cell);
+  quoted += '"';
+  return quoted;
+}
+
+// Writes every recorded table to BENCH_<name>.json.
+inline bool WriteBenchJson(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
+               JsonEscape(name).c_str());
+  const auto& tables = JsonTables();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    std::fprintf(file, "%s\n    {\n      \"title\": \"%s\",\n",
+                 t == 0 ? "" : ",", JsonEscape(tables[t].title).c_str());
+    std::fprintf(file, "      \"columns\": [");
+    for (size_t c = 0; c < tables[t].columns.size(); ++c) {
+      std::fprintf(file, "%s\"%s\"", c == 0 ? "" : ", ",
+                   JsonEscape(tables[t].columns[c]).c_str());
+    }
+    std::fprintf(file, "],\n      \"rows\": [");
+    for (size_t r = 0; r < tables[t].rows.size(); ++r) {
+      std::fprintf(file, "%s\n        [", r == 0 ? "" : ",");
+      for (size_t c = 0; c < tables[t].rows[r].size(); ++c) {
+        std::fprintf(file, "%s%s", c == 0 ? "" : ", ",
+                     JsonCell(tables[t].rows[r][c]).c_str());
+      }
+      std::fprintf(file, "]");
+    }
+    std::fprintf(file, "\n      ]\n    }");
+  }
+  std::fprintf(file, "\n  ]\n}\n");
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+// Each bench defines Main() and calls this from main(): runs the bench,
+// then mirrors its tables to BENCH_<name>.json on success.
+inline int RunAndDump(const std::string& name, int (*main_fn)()) {
+  const int rc = main_fn();
+  if (rc == 0 && !WriteBenchJson(name)) return 1;
+  return rc;
 }
 
 inline std::string FormatDouble(double value, int decimals = 4) {

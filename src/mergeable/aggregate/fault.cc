@@ -1,5 +1,6 @@
 #include "mergeable/aggregate/fault.h"
 
+#include <iterator>
 #include <utility>
 
 #include "mergeable/util/check.h"
@@ -34,6 +35,37 @@ FaultDecision FaultPlan::Decide(uint64_t shard_id, uint32_t attempt) const {
   decision.delayed = NextUniform(state) < spec_.delay_probability;
   if (decision.delayed) decision.latency_ms = spec_.delay_ms;
   return decision;
+}
+
+const char* ToString(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kNone:
+      return "none";
+    case CrashMode::kBeforeWrite:
+      return "before-write";
+    case CrashMode::kTornWrite:
+      return "torn-write";
+    case CrashMode::kCorruptWrite:
+      return "corrupt-write";
+    case CrashMode::kAfterWrite:
+      return "after-write";
+  }
+  return "unknown";
+}
+
+std::vector<CrashPoint> CrashMatrix(uint64_t n_writes, uint64_t seed) {
+  constexpr CrashMode kFatalModes[] = {
+      CrashMode::kBeforeWrite, CrashMode::kTornWrite,
+      CrashMode::kCorruptWrite, CrashMode::kAfterWrite};
+  std::vector<CrashPoint> matrix;
+  matrix.reserve(n_writes * std::size(kFatalModes));
+  uint64_t state = seed;
+  for (uint64_t write = 0; write < n_writes; ++write) {
+    for (CrashMode mode : kFatalModes) {
+      matrix.push_back(CrashPoint{mode, write, SplitMix64(state)});
+    }
+  }
+  return matrix;
 }
 
 void ApplyTruncate(std::vector<uint8_t>& frame, uint64_t seed) {

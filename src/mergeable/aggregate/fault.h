@@ -72,6 +72,39 @@ class FaultPlan {
   std::unordered_set<uint64_t> dead_shards_;
 };
 
+// ---- Crash-point schedule for durable storage (storage.h) ----
+//
+// The transport faults above model a hostile network; CrashPoint models
+// a hostile *coordinator host*. A schedule names one write (by index in
+// the storage's global write order) and how the process dies around it.
+// Enumerating every (write, mode) pair gives the crash matrix the
+// recovery tests sweep.
+
+enum class CrashMode {
+  kNone,          // Never crash.
+  kBeforeWrite,   // Dies before the write: nothing of it persists.
+  kTornWrite,     // Dies mid-write: a strict prefix persists.
+  kCorruptWrite,  // Write persists with one bit flipped (bad sector),
+                  // then the process dies.
+  kAfterWrite,    // Write fully persists but the writer never learns.
+};
+
+const char* ToString(CrashMode mode);
+
+struct CrashPoint {
+  CrashMode mode = CrashMode::kNone;
+  // Which durable write dies (0-based, counting every append / rewrite /
+  // truncate the storage performs).
+  uint64_t write_index = 0;
+  // Seeds the torn-prefix length / flipped-bit position.
+  uint64_t mutation_seed = 0;
+};
+
+// Every crash point for a run known to perform `n_writes` durable
+// writes: all four fatal modes at every write boundary. `seed` varies
+// the torn/corrupt mutation positions deterministically.
+std::vector<CrashPoint> CrashMatrix(uint64_t n_writes, uint64_t seed);
+
 // Cuts `frame` at a position derived from `seed` (at least one byte is
 // removed; empty frames stay empty).
 void ApplyTruncate(std::vector<uint8_t>& frame, uint64_t seed);

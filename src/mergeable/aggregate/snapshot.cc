@@ -1,0 +1,138 @@
+#include "mergeable/aggregate/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mergeable/aggregate/wal.h"
+#include "mergeable/util/bytes.h"
+
+namespace mergeable {
+namespace {
+
+// 'S' 'N' 'P' '1' read as a little-endian u32.
+constexpr uint32_t kSnapshotMagic = 0x31504e53;
+constexpr char kSnapshotPrefix[] = "snap.";
+
+void PutShardSet(ByteWriter& writer, const std::vector<uint64_t>& shards) {
+  writer.PutU32(static_cast<uint32_t>(shards.size()));
+  for (uint64_t shard : shards) writer.PutU64(shard);
+}
+
+// Reads a shard set, validating the declared count against the input
+// that is actually present before allocating, and requiring strictly
+// ascending ids (canonical form; also rejects duplicates).
+bool GetShardSet(ByteReader& reader, std::vector<uint64_t>* shards) {
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return false;
+  if (reader.remaining() < static_cast<size_t>(count) * sizeof(uint64_t)) {
+    return false;
+  }
+  shards->clear();
+  shards->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t shard = 0;
+    if (!reader.GetU64(&shard)) return false;
+    if (!shards->empty() && shard <= shards->back()) return false;
+    shards->push_back(shard);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot) {
+  ByteWriter body;
+  body.PutU64(snapshot.epoch);
+  body.PutU64(snapshot.n_shards);
+  body.PutU64(snapshot.wal_records);
+  PutShardSet(body, snapshot.received_shards);
+  PutShardSet(body, snapshot.lost_shards);
+  body.PutBytes(snapshot.summary_payload);
+  const std::vector<uint8_t> body_bytes = body.bytes();
+
+  ByteWriter frame;
+  frame.PutU32(kSnapshotMagic);
+  frame.PutBytes(body_bytes);
+  frame.PutU64(WalChecksum(body_bytes));
+  return frame.TakeBytes();
+}
+
+std::optional<Snapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic) || magic != kSnapshotMagic) return std::nullopt;
+  std::vector<uint8_t> body;
+  if (!reader.GetBytes(&body)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum) || !reader.Exhausted()) return std::nullopt;
+  if (checksum != WalChecksum(body)) return std::nullopt;
+
+  ByteReader body_reader(body);
+  Snapshot snapshot;
+  if (!body_reader.GetU64(&snapshot.epoch) ||
+      !body_reader.GetU64(&snapshot.n_shards) ||
+      !body_reader.GetU64(&snapshot.wal_records) ||
+      !GetShardSet(body_reader, &snapshot.received_shards) ||
+      !GetShardSet(body_reader, &snapshot.lost_shards) ||
+      !body_reader.GetBytes(&snapshot.summary_payload) ||
+      !body_reader.Exhausted()) {
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+std::string SnapshotFileName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%012llu", kSnapshotPrefix,
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+bool WriteSnapshotFile(Storage* storage, uint64_t seq,
+                       const Snapshot& snapshot) {
+  return storage->Rewrite(SnapshotFileName(seq), EncodeSnapshot(snapshot));
+}
+
+namespace {
+
+std::optional<uint64_t> ParseSnapshotSeq(const std::string& name) {
+  const size_t prefix_len = sizeof(kSnapshotPrefix) - 1;
+  if (name.size() <= prefix_len || name.compare(0, prefix_len,
+                                                kSnapshotPrefix) != 0) {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix_len; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+SnapshotScan LoadLatestSnapshot(const Storage& storage) {
+  SnapshotScan scan;
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : storage.List()) {
+    const std::optional<uint64_t> seq = ParseSnapshotSeq(name);
+    if (seq.has_value()) candidates.emplace_back(*seq, name);
+  }
+  if (candidates.empty()) return scan;
+  std::sort(candidates.begin(), candidates.end());
+  scan.max_seq_seen = candidates.back().first;
+  // Newest first: a torn newest snapshot falls back to the one before.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const std::optional<std::vector<uint8_t>> bytes = storage.Read(it->second);
+    if (!bytes.has_value()) continue;
+    std::optional<Snapshot> snapshot = DecodeSnapshot(*bytes);
+    if (!snapshot.has_value()) continue;
+    scan.found = true;
+    scan.seq = it->first;
+    scan.snapshot = std::move(*snapshot);
+    return scan;
+  }
+  return scan;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,88 @@
+// Snapshot checkpoints of the coordinator's durable state.
+//
+// Replaying a long WAL from the top is correct but slow; a snapshot
+// bounds recovery work by persisting the partially merged summary plus
+// the dedup/outcome sets at a known log position. Recovery then loads
+// the newest snapshot that decodes cleanly and replays only the WAL
+// records past it.
+//
+// Snapshots are never overwritten in place: each checkpoint writes a
+// fresh versioned file ("snap.<seq>"). A crash mid-checkpoint therefore
+// tears only the newest file, and recovery falls back to the previous
+// valid one — the classic stale-snapshot-plus-newer-log case, which the
+// wal_records cursor makes safe: the stale snapshot simply replays a
+// longer log tail and lands in the identical state.
+//
+// Layout (little-endian, framed with util/bytes.h):
+//
+//   u32  magic       'S','N','P','1'
+//   u32  body_len    followed by the body:
+//          u64 epoch
+//          u64 n_shards
+//          u64 wal_records          log records this snapshot covers
+//          u32 + received shard ids (sorted)
+//          u32 + lost shard ids     (sorted)
+//          u32 payload_len + payload  merged summary's canonical
+//                                     encoding (empty: nothing merged)
+//   u64  checksum    over the body bytes
+
+#ifndef MERGEABLE_AGGREGATE_SNAPSHOT_H_
+#define MERGEABLE_AGGREGATE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mergeable/aggregate/storage.h"
+
+namespace mergeable {
+
+struct Snapshot {
+  uint64_t epoch = 0;
+  uint64_t n_shards = 0;
+  // How many WAL records (of any type) this snapshot covers; recovery
+  // replays the log from this cursor.
+  uint64_t wal_records = 0;
+  std::vector<uint64_t> received_shards;  // Sorted.
+  std::vector<uint64_t> lost_shards;      // Sorted.
+  // Canonical encoding of the merge of received_shards' reports, in
+  // ascending shard order; empty when nothing has been merged yet.
+  std::vector<uint8_t> summary_payload;
+};
+
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot);
+
+// std::nullopt on truncation, bad magic, checksum mismatch, trailing
+// bytes, or unsorted shard sets. Snapshot bytes come from storage that
+// can tear and flip bits, so decoding never aborts.
+std::optional<Snapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes);
+
+// The storage file name for snapshot sequence number `seq`.
+std::string SnapshotFileName(uint64_t seq);
+
+// Writes `snapshot` as sequence `seq`; false when the write did not
+// durably complete.
+bool WriteSnapshotFile(Storage* storage, uint64_t seq,
+                       const Snapshot& snapshot);
+
+struct SnapshotScan {
+  // True when some snapshot file decoded cleanly; seq/snapshot are then
+  // the newest such. False: recovery replays the WAL from the top.
+  bool found = false;
+  uint64_t seq = 0;
+  Snapshot snapshot;
+  // The highest sequence number present on storage, valid or not
+  // (0 when there are no snapshot files; real sequences start at 1).
+  // The next checkpoint must write past it so a torn file is never
+  // mistaken for newer state.
+  uint64_t max_seq_seen = 0;
+};
+
+// Loads the highest-sequence snapshot that decodes cleanly, skipping
+// torn or corrupt newer files.
+SnapshotScan LoadLatestSnapshot(const Storage& storage);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_SNAPSHOT_H_

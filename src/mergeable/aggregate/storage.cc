@@ -1,0 +1,105 @@
+#include "mergeable/aggregate/storage.h"
+
+#include <utility>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+bool MemStorage::CommitWrite(const std::string& file,
+                             const std::vector<uint8_t>& bytes, bool append) {
+  if (crashed_) return false;
+  const uint64_t index = writes_attempted_++;
+  const bool fires =
+      crash_.mode != CrashMode::kNone && index == crash_.write_index;
+  if (fires && crash_.mode == CrashMode::kBeforeWrite) {
+    crashed_ = true;
+    return false;
+  }
+  std::vector<uint8_t> durable = bytes;
+  uint64_t state = crash_.mutation_seed;
+  if (fires && crash_.mode == CrashMode::kTornWrite) {
+    // A strict prefix reaches the medium (possibly nothing).
+    if (!durable.empty()) durable.resize(SplitMix64(state) % durable.size());
+  }
+  if (fires && crash_.mode == CrashMode::kCorruptWrite) {
+    ApplyBitFlip(durable, SplitMix64(state));
+  }
+  std::vector<uint8_t>& destination = files_[file];
+  if (append) {
+    destination.insert(destination.end(), durable.begin(), durable.end());
+  } else {
+    destination = std::move(durable);
+  }
+  if (fires) {
+    // Torn, corrupt and after-write crashes all kill the process once the
+    // durable bytes are down; the writer never sees the write succeed.
+    crashed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool MemStorage::Append(const std::string& file,
+                        const std::vector<uint8_t>& bytes) {
+  const bool ok = CommitWrite(file, bytes, /*append=*/true);
+  if (ok) {
+    ++stats_.appends;
+    stats_.bytes_appended += bytes.size();
+  }
+  return ok;
+}
+
+bool MemStorage::Rewrite(const std::string& file,
+                         const std::vector<uint8_t>& bytes) {
+  const bool ok = CommitWrite(file, bytes, /*append=*/false);
+  if (ok) {
+    ++stats_.rewrites;
+    stats_.bytes_rewritten += bytes.size();
+  }
+  return ok;
+}
+
+bool MemStorage::Truncate(const std::string& file, uint64_t size) {
+  if (crashed_) return false;
+  const uint64_t index = writes_attempted_++;
+  const bool fires =
+      crash_.mode != CrashMode::kNone && index == crash_.write_index;
+  if (fires && crash_.mode == CrashMode::kBeforeWrite) {
+    crashed_ = true;
+    return false;
+  }
+  auto it = files_.find(file);
+  if (it != files_.end() && it->second.size() > size) {
+    it->second.resize(size);
+  }
+  if (fires) {
+    // A truncate is all-or-nothing on every sane backend; the remaining
+    // crash modes reduce to dying right after it completed.
+    crashed_ = true;
+    return false;
+  }
+  ++stats_.truncates;
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> MemStorage::Read(
+    const std::string& file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> MemStorage::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, bytes] : files_) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
+void MemStorage::Restart() {
+  crashed_ = false;
+  crash_ = CrashPoint{};
+}
+
+}  // namespace mergeable

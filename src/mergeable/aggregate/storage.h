@@ -1,0 +1,122 @@
+// Durable storage abstraction for the aggregation pipeline.
+//
+// The coordinator survives its own crashes by writing two kinds of
+// state through this interface: an append-only write-ahead log of
+// accepted reports (wal.h) and periodic snapshot checkpoints of the
+// partially merged summary (snapshot.h). Storage is deliberately tiny —
+// named byte files with append, full rewrite, truncate and read — so a
+// real backend (a local file system, a replicated log) can slot in
+// without touching the recovery logic.
+//
+// MemStorage is the in-memory implementation the tests and benchmarks
+// use. It models the failure modes that matter for crash recovery via a
+// CrashPoint schedule (fault.h): the process can die immediately before
+// a write (nothing persists), during it (a torn prefix persists),
+// just after it (everything persists but the writer never learns), or
+// the final sector can persist bit-flipped. After a simulated crash
+// every further write fails; Restart() models the process coming back
+// up and finding exactly the bytes that were durable.
+
+#ifndef MERGEABLE_AGGREGATE_STORAGE_H_
+#define MERGEABLE_AGGREGATE_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mergeable/aggregate/fault.h"
+
+namespace mergeable {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // Appends `bytes` to the named file (created on first append). Returns
+  // false when the write did not durably complete — the caller must
+  // treat the record as lost (it may still be partially present; the
+  // log reader truncates torn tails).
+  virtual bool Append(const std::string& file,
+                      const std::vector<uint8_t>& bytes) = 0;
+
+  // Replaces the named file's contents. The replace is atomic on a
+  // healthy backend; a crash during the write may leave a torn file,
+  // which is why snapshot files are versioned rather than overwritten.
+  virtual bool Rewrite(const std::string& file,
+                       const std::vector<uint8_t>& bytes) = 0;
+
+  // Discards every byte of `file` past `size` (recovery uses this to
+  // drop a torn log tail). Returns false if the truncate did not
+  // durably complete.
+  virtual bool Truncate(const std::string& file, uint64_t size) = 0;
+
+  // The file's durable contents; std::nullopt if it was never written.
+  virtual std::optional<std::vector<uint8_t>> Read(
+      const std::string& file) const = 0;
+
+  // Every file name present, sorted (deterministic recovery scans).
+  virtual std::vector<std::string> List() const = 0;
+};
+
+// Write-traffic counters, for the WAL-overhead benchmark (E10).
+struct StorageStats {
+  uint64_t appends = 0;
+  uint64_t rewrites = 0;
+  uint64_t truncates = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t bytes_rewritten = 0;
+};
+
+class MemStorage : public Storage {
+ public:
+  // A storage that never fails.
+  MemStorage() = default;
+  // A storage that crashes at `crash` (see fault.h). The schedule fires
+  // once; Restart() clears it along with the crashed state.
+  explicit MemStorage(CrashPoint crash) : crash_(crash) {}
+
+  bool Append(const std::string& file,
+              const std::vector<uint8_t>& bytes) override;
+  bool Rewrite(const std::string& file,
+               const std::vector<uint8_t>& bytes) override;
+  bool Truncate(const std::string& file, uint64_t size) override;
+  std::optional<std::vector<uint8_t>> Read(
+      const std::string& file) const override;
+  std::vector<std::string> List() const override;
+
+  // True once the crash point has fired: the process is "dead" and every
+  // write fails until Restart().
+  bool crashed() const { return crashed_; }
+
+  // Simulates the process coming back up: writes work again, the durable
+  // bytes are exactly what survived the crash, and the consumed crash
+  // schedule is cleared.
+  void Restart();
+
+  // Durable write operations completed so far. A dry run reads this to
+  // enumerate every crash boundary for the crash-matrix test.
+  uint64_t writes_attempted() const { return writes_attempted_; }
+
+  const StorageStats& stats() const { return stats_; }
+
+ private:
+  // Returns false (and marks the process crashed) when the scheduled
+  // crash fires on this write; whatever the crash mode left durable
+  // (nothing, a torn prefix, a bit-flipped copy, or all of it) is
+  // applied to the named file first.
+  bool CommitWrite(const std::string& file, const std::vector<uint8_t>& bytes,
+                   bool append);
+
+  std::map<std::string, std::vector<uint8_t>> files_;
+  CrashPoint crash_;
+  bool crashed_ = false;
+  uint64_t writes_attempted_ = 0;
+  StorageStats stats_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_STORAGE_H_

@@ -1,0 +1,108 @@
+#include "mergeable/aggregate/wal.h"
+
+#include <utility>
+
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+namespace {
+
+// 'W' 'A' 'L' '1' read as a little-endian u32.
+constexpr uint32_t kWalMagic = 0x314c4157;
+
+}  // namespace
+
+uint64_t WalChecksum(const std::vector<uint8_t>& body) {
+  uint64_t h = MixHash(body.size(), /*seed=*/0x57414c31);
+  size_t i = 0;
+  for (; i + 8 <= body.size(); i += 8) {
+    uint64_t word = 0;
+    for (int b = 7; b >= 0; --b) word = (word << 8) | body[i + b];
+    h = MixHash(word, h);
+  }
+  uint64_t tail = 0;
+  for (size_t j = body.size(); j > i; --j) tail = (tail << 8) | body[j - 1];
+  return MixHash(tail, h);
+}
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
+  ByteWriter body;
+  body.PutU32(static_cast<uint32_t>(record.type));
+  body.PutU64(record.shard_id);
+  body.PutU64(record.epoch);
+  body.PutBytes(record.payload);
+  const std::vector<uint8_t> body_bytes = body.bytes();
+
+  ByteWriter frame;
+  frame.PutU32(kWalMagic);
+  frame.PutBytes(body_bytes);
+  frame.PutU64(WalChecksum(body_bytes));
+  return frame.TakeBytes();
+}
+
+WalWriter::WalWriter(Storage* storage, std::string file)
+    : storage_(storage), file_(std::move(file)) {}
+
+bool WalWriter::Append(const WalRecord& record) {
+  const std::vector<uint8_t> bytes = EncodeWalRecord(record);
+  if (!storage_->Append(file_, bytes)) return false;
+  ++records_appended_;
+  bytes_appended_ += bytes.size();
+  return true;
+}
+
+namespace {
+
+// Parses one record starting at the reader's position. nullopt when the
+// bytes do not form an intact record (truncated, bad magic, checksum
+// mismatch, unknown type, or inner framing that disagrees with the
+// declared body length).
+std::optional<WalRecord> DecodeOneRecord(ByteReader& reader) {
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic) || magic != kWalMagic) return std::nullopt;
+  std::vector<uint8_t> body;
+  if (!reader.GetBytes(&body)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum)) return std::nullopt;
+  if (checksum != WalChecksum(body)) return std::nullopt;
+
+  ByteReader body_reader(body);
+  uint32_t type = 0;
+  WalRecord record;
+  if (!body_reader.GetU32(&type) || !body_reader.GetU64(&record.shard_id) ||
+      !body_reader.GetU64(&record.epoch) ||
+      !body_reader.GetBytes(&record.payload) || !body_reader.Exhausted()) {
+    return std::nullopt;
+  }
+  if (type != static_cast<uint32_t>(WalRecordType::kEpochBegin) &&
+      type != static_cast<uint32_t>(WalRecordType::kReport) &&
+      type != static_cast<uint32_t>(WalRecordType::kShardLost)) {
+    return std::nullopt;
+  }
+  record.type = static_cast<WalRecordType>(type);
+  return record;
+}
+
+}  // namespace
+
+WalReplay ReplayWal(const Storage& storage, const std::string& file) {
+  WalReplay replay;
+  const std::optional<std::vector<uint8_t>> bytes = storage.Read(file);
+  if (!bytes.has_value()) return replay;
+  ByteReader reader(*bytes);
+  while (!reader.Exhausted()) {
+    const uint64_t before = bytes->size() - reader.remaining();
+    std::optional<WalRecord> record = DecodeOneRecord(reader);
+    if (!record.has_value()) {
+      replay.valid_bytes = before;
+      replay.torn_tail = true;
+      return replay;
+    }
+    replay.records.push_back(std::move(*record));
+  }
+  replay.valid_bytes = bytes->size();
+  return replay;
+}
+
+}  // namespace mergeable

@@ -10,6 +10,9 @@
 #include "mergeable/aggregate/coordinator.h"
 #include "mergeable/aggregate/fault.h"
 #include "mergeable/aggregate/fuzz.h"
+#include "mergeable/aggregate/snapshot.h"
+#include "mergeable/aggregate/storage.h"
+#include "mergeable/aggregate/wal.h"
 #include "mergeable/aggregate/wire.h"
 #include "mergeable/approx/eps_approximation.h"
 #include "mergeable/approx/eps_kernel.h"

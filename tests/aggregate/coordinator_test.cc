@@ -71,6 +71,65 @@ TEST(BackoffPolicyTest, CappedExponentialSchedule) {
   EXPECT_EQ(policy.BackoffBefore(4), 50u);
 }
 
+TEST(BackoffPolicyTest, AttemptZeroAndZeroInitialAreFree) {
+  BackoffPolicy policy;
+  policy.initial_backoff_ms = 0;
+  policy.multiplier = 2.0;
+  EXPECT_EQ(policy.BackoffBefore(0), 0u);
+  EXPECT_EQ(policy.BackoffBefore(7), 0u);
+}
+
+TEST(BackoffPolicyTest, HugeAttemptSaturatesAtCapWithoutOverflow) {
+  BackoffPolicy policy;
+  policy.initial_backoff_ms = 1000;
+  policy.multiplier = 10.0;
+  policy.max_backoff_ms = 30000;
+  // 1000 * 10^4294967294 wraps many times over in integer arithmetic;
+  // the schedule must clamp to the cap instead.
+  EXPECT_EQ(policy.BackoffBefore(100), 30000u);
+  EXPECT_EQ(policy.BackoffBefore(UINT32_MAX), 30000u);
+}
+
+TEST(BackoffPolicyTest, FractionalMultiplierDecaysToZero) {
+  BackoffPolicy policy;
+  policy.initial_backoff_ms = 100;
+  policy.multiplier = 0.5;
+  policy.max_backoff_ms = 1000;
+  EXPECT_EQ(policy.BackoffBefore(1), 100u);
+  EXPECT_EQ(policy.BackoffBefore(2), 50u);
+  EXPECT_EQ(policy.BackoffBefore(3), 25u);
+}
+
+TEST(BackoffPolicyDeathTest, NonPositiveMultiplierIsRejected) {
+  BackoffPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.multiplier = 0.0;
+  EXPECT_DEATH(policy.BackoffBefore(1), "multiplier must be positive");
+  policy.multiplier = -2.0;
+  EXPECT_DEATH(policy.BackoffBefore(1), "multiplier must be positive");
+}
+
+TEST(CoordinatorTest, DeadlineClampsBackoffSleep) {
+  // A dead shard with large backoffs: the coordinator must not sleep
+  // past the deadline, so total elapsed stays near deadline_ms even
+  // though the next scheduled backoff alone would exceed it.
+  FaultPlan plan;
+  plan.KillShard(0);
+  SimulatedTransport transport{plan};
+  BackoffPolicy policy = TestPolicy();
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 90;
+  policy.multiplier = 4.0;
+  policy.max_backoff_ms = 5000;
+  policy.deadline_ms = 200;
+  Coordinator<SpaceSaving> coordinator(kEpoch, policy,
+                                       MergeTopology::kBalancedTree);
+  const auto result = coordinator.Run(transport, 1);
+  EXPECT_EQ(result.shards_received, 0u);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_LE(result.outcomes[0].elapsed_ms, policy.deadline_ms + 100);
+}
+
 TEST(CoordinatorTest, HealthyNetworkFullCoverage) {
   const auto shards = TestShards();
   SimulatedTransport transport{FaultPlan()};
@@ -227,6 +286,56 @@ TEST(CoordinatorTest, DeadlineStopsRetrying) {
   ASSERT_EQ(result.outcomes.size(), 1u);
   EXPECT_LT(result.outcomes[0].attempts, 10u);
   EXPECT_LE(result.outcomes[0].elapsed_ms, policy.deadline_ms + 50);
+}
+
+// One coordinator, two consecutive epochs. Before AdvanceEpoch existed,
+// the dedup/outcome state of epoch 1 leaked into epoch 2 and every
+// second-epoch report was either misrejected or double-merged.
+TEST(CoordinatorTest, ReusableAcrossEpochsAfterAdvance) {
+  const auto shards = TestShards();
+  uint64_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+
+  Coordinator<SpaceSaving> coordinator(kEpoch, TestPolicy(),
+                                       MergeTopology::kBalancedTree);
+  for (uint64_t epoch = kEpoch; epoch < kEpoch + 2; ++epoch) {
+    if (epoch != kEpoch) coordinator.AdvanceEpoch(epoch);
+    EXPECT_EQ(coordinator.epoch(), epoch);
+    SimulatedTransport transport{FaultPlan()};
+    for (size_t shard = 0; shard < shards.size(); ++shard) {
+      SpaceSaving summary = SpaceSaving::ForEpsilon(kHhEpsilon);
+      for (uint64_t item : shards[shard]) summary.Update(item);
+      transport.Submit(shard, MakeReportFrame(summary, shard, epoch));
+    }
+    const auto result = coordinator.Run(transport, kShards);
+    EXPECT_EQ(result.shards_received, kShards) << "epoch " << epoch;
+    EXPECT_EQ(result.duplicates_rejected, 0u) << "epoch " << epoch;
+    EXPECT_EQ(result.malformed_rejected, 0u) << "epoch " << epoch;
+    ASSERT_TRUE(result.summary.has_value());
+    // Stale epoch-1 state leaking in would double n or drop shards.
+    EXPECT_EQ(result.summary->n(), total) << "epoch " << epoch;
+  }
+}
+
+TEST(CoordinatorTest, StaleEpochReportsRejectedAfterAdvance) {
+  SpaceSaving summary = SpaceSaving::ForEpsilon(kHhEpsilon);
+  summary.Update(1);
+  Coordinator<SpaceSaving> coordinator(kEpoch, TestPolicy(),
+                                       MergeTopology::kBalancedTree);
+  coordinator.AdvanceEpoch(kEpoch + 1);
+  // A straggler frame from the previous epoch must not be merged.
+  SimulatedTransport transport{FaultPlan()};
+  transport.Submit(0, MakeReportFrame(summary, 0, kEpoch));
+  const auto result = coordinator.Run(transport, 1);
+  EXPECT_EQ(result.shards_received, 0u);
+  EXPECT_GT(result.malformed_rejected, 0u);
+}
+
+TEST(CoordinatorDeathTest, AdvanceToSameEpochIsRejected) {
+  Coordinator<SpaceSaving> coordinator(kEpoch, TestPolicy(),
+                                       MergeTopology::kBalancedTree);
+  EXPECT_DEATH(coordinator.AdvanceEpoch(kEpoch),
+               "AdvanceEpoch requires a different epoch");
 }
 
 // The acceptance-criteria test: k of m shards permanently lost. The

@@ -1,0 +1,116 @@
+// Snapshot codec hardening and newest-valid-wins selection.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/snapshot.h"
+#include "mergeable/aggregate/storage.h"
+
+namespace mergeable {
+namespace {
+
+Snapshot MakeSnapshot(uint64_t epoch) {
+  Snapshot snapshot;
+  snapshot.epoch = epoch;
+  snapshot.n_shards = 8;
+  snapshot.wal_records = 5;
+  snapshot.received_shards = {0, 2, 5};
+  snapshot.lost_shards = {3};
+  snapshot.summary_payload = {10, 20, 30};
+  return snapshot;
+}
+
+TEST(SnapshotTest, RoundTrips) {
+  const Snapshot original = MakeSnapshot(7);
+  const auto bytes = EncodeSnapshot(original);
+  const auto decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 7u);
+  EXPECT_EQ(decoded->n_shards, 8u);
+  EXPECT_EQ(decoded->wal_records, 5u);
+  EXPECT_EQ(decoded->received_shards, original.received_shards);
+  EXPECT_EQ(decoded->lost_shards, original.lost_shards);
+  EXPECT_EQ(decoded->summary_payload, original.summary_payload);
+}
+
+TEST(SnapshotTest, RejectsEveryTruncation) {
+  const auto bytes = EncodeSnapshot(MakeSnapshot(1));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeSnapshot(prefix).has_value()) << "len=" << len;
+  }
+}
+
+TEST(SnapshotTest, RejectsEveryBitFlip) {
+  const auto bytes = EncodeSnapshot(MakeSnapshot(1));
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(DecodeSnapshot(flipped).has_value())
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(SnapshotTest, RejectsTrailingBytes) {
+  auto bytes = EncodeSnapshot(MakeSnapshot(1));
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeSnapshot(bytes).has_value());
+}
+
+TEST(SnapshotTest, RejectsUnsortedShardSets) {
+  Snapshot snapshot = MakeSnapshot(1);
+  snapshot.received_shards = {5, 2};  // Not ascending.
+  const auto bytes = EncodeSnapshot(snapshot);
+  EXPECT_FALSE(DecodeSnapshot(bytes).has_value());
+}
+
+TEST(SnapshotTest, EmptyStorageScanFindsNothing) {
+  MemStorage storage;
+  const SnapshotScan scan = LoadLatestSnapshot(storage);
+  EXPECT_FALSE(scan.found);
+  EXPECT_EQ(scan.max_seq_seen, 0u);
+}
+
+TEST(SnapshotTest, NewestValidSnapshotWins) {
+  MemStorage storage;
+  ASSERT_TRUE(WriteSnapshotFile(&storage, 1, MakeSnapshot(1)));
+  ASSERT_TRUE(WriteSnapshotFile(&storage, 2, MakeSnapshot(2)));
+  const SnapshotScan scan = LoadLatestSnapshot(storage);
+  ASSERT_TRUE(scan.found);
+  EXPECT_EQ(scan.seq, 2u);
+  EXPECT_EQ(scan.snapshot.epoch, 2u);
+  EXPECT_EQ(scan.max_seq_seen, 2u);
+}
+
+TEST(SnapshotTest, FallsBackPastTornNewestFile) {
+  MemStorage storage;
+  ASSERT_TRUE(WriteSnapshotFile(&storage, 1, MakeSnapshot(1)));
+  // Sequence 2 is torn: only half its bytes reached storage.
+  const auto full = EncodeSnapshot(MakeSnapshot(2));
+  ASSERT_TRUE(storage.Rewrite(
+      SnapshotFileName(2),
+      std::vector<uint8_t>(full.begin(), full.begin() + full.size() / 2)));
+  const SnapshotScan scan = LoadLatestSnapshot(storage);
+  ASSERT_TRUE(scan.found);
+  EXPECT_EQ(scan.seq, 1u);
+  EXPECT_EQ(scan.snapshot.epoch, 1u);
+  // The torn file still raises the watermark so the next checkpoint
+  // cannot collide with it.
+  EXPECT_EQ(scan.max_seq_seen, 2u);
+}
+
+TEST(SnapshotTest, IgnoresUnrelatedFiles) {
+  MemStorage storage;
+  ASSERT_TRUE(storage.Append("wal", {1, 2, 3}));
+  ASSERT_TRUE(WriteSnapshotFile(&storage, 3, MakeSnapshot(3)));
+  const SnapshotScan scan = LoadLatestSnapshot(storage);
+  ASSERT_TRUE(scan.found);
+  EXPECT_EQ(scan.seq, 3u);
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,146 @@
+// MemStorage semantics: append/rewrite/truncate/read/list, plus every
+// crash mode of the CrashPoint schedule — the foundation the recovery
+// tests stand on, so the failure injection itself must be exact.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/fault.h"
+#include "mergeable/aggregate/storage.h"
+
+namespace mergeable {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> list) {
+  return std::vector<uint8_t>(list);
+}
+
+TEST(MemStorageTest, AppendAccumulatesAndReadReturnsAll) {
+  MemStorage storage;
+  EXPECT_TRUE(storage.Append("log", Bytes({1, 2})));
+  EXPECT_TRUE(storage.Append("log", Bytes({3})));
+  const auto contents = storage.Read("log");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(*contents, Bytes({1, 2, 3}));
+  EXPECT_EQ(storage.stats().appends, 2u);
+  EXPECT_EQ(storage.stats().bytes_appended, 3u);
+}
+
+TEST(MemStorageTest, RewriteReplacesContents) {
+  MemStorage storage;
+  EXPECT_TRUE(storage.Rewrite("snap", Bytes({1, 2, 3})));
+  EXPECT_TRUE(storage.Rewrite("snap", Bytes({9})));
+  const auto contents = storage.Read("snap");
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(*contents, Bytes({9}));
+}
+
+TEST(MemStorageTest, TruncateDropsTail) {
+  MemStorage storage;
+  EXPECT_TRUE(storage.Append("log", Bytes({1, 2, 3, 4})));
+  EXPECT_TRUE(storage.Truncate("log", 2));
+  EXPECT_EQ(*storage.Read("log"), Bytes({1, 2}));
+  // Truncating past the end is a no-op, not an extension.
+  EXPECT_TRUE(storage.Truncate("log", 100));
+  EXPECT_EQ(storage.Read("log")->size(), 2u);
+}
+
+TEST(MemStorageTest, MissingFileReadsAsNullopt) {
+  MemStorage storage;
+  EXPECT_FALSE(storage.Read("nope").has_value());
+  EXPECT_TRUE(storage.List().empty());
+}
+
+TEST(MemStorageTest, ListIsSorted) {
+  MemStorage storage;
+  EXPECT_TRUE(storage.Append("b", Bytes({1})));
+  EXPECT_TRUE(storage.Append("a", Bytes({1})));
+  const auto names = storage.List();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(MemStorageTest, CrashBeforeWritePersistsNothing) {
+  CrashPoint point;
+  point.mode = CrashMode::kBeforeWrite;
+  point.write_index = 1;
+  MemStorage storage(point);
+  EXPECT_TRUE(storage.Append("log", Bytes({1, 2})));
+  EXPECT_FALSE(storage.Append("log", Bytes({3, 4})));
+  EXPECT_TRUE(storage.crashed());
+  // Only the first write is durable; later writes all fail.
+  EXPECT_EQ(*storage.Read("log"), Bytes({1, 2}));
+  EXPECT_FALSE(storage.Append("log", Bytes({5})));
+  EXPECT_EQ(*storage.Read("log"), Bytes({1, 2}));
+}
+
+TEST(MemStorageTest, CrashTornWritePersistsStrictPrefix) {
+  CrashPoint point;
+  point.mode = CrashMode::kTornWrite;
+  point.write_index = 0;
+  point.mutation_seed = 7;
+  MemStorage storage(point);
+  EXPECT_FALSE(storage.Append("log", Bytes({1, 2, 3, 4, 5, 6, 7, 8})));
+  EXPECT_TRUE(storage.crashed());
+  const auto contents = storage.Read("log");
+  // A strict prefix (possibly empty) reached the medium.
+  if (contents.has_value()) {
+    EXPECT_LT(contents->size(), 8u);
+  }
+}
+
+TEST(MemStorageTest, CrashCorruptWritePersistsFlippedBits) {
+  CrashPoint point;
+  point.mode = CrashMode::kCorruptWrite;
+  point.write_index = 0;
+  point.mutation_seed = 11;
+  MemStorage storage(point);
+  const auto original = Bytes({1, 2, 3, 4});
+  EXPECT_FALSE(storage.Append("log", original));
+  EXPECT_TRUE(storage.crashed());
+  const auto contents = storage.Read("log");
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->size(), original.size());
+  EXPECT_NE(*contents, original);  // Exactly one bit differs.
+}
+
+TEST(MemStorageTest, CrashAfterWritePersistsEverything) {
+  CrashPoint point;
+  point.mode = CrashMode::kAfterWrite;
+  point.write_index = 0;
+  MemStorage storage(point);
+  // The writer sees failure, but the bytes are durable — the classic
+  // lost-acknowledgement case dedup must handle.
+  EXPECT_FALSE(storage.Append("log", Bytes({1, 2})));
+  EXPECT_TRUE(storage.crashed());
+  EXPECT_EQ(*storage.Read("log"), Bytes({1, 2}));
+}
+
+TEST(MemStorageTest, RestartClearsCrashAndKeepsDurableBytes) {
+  CrashPoint point;
+  point.mode = CrashMode::kAfterWrite;
+  point.write_index = 0;
+  MemStorage storage(point);
+  EXPECT_FALSE(storage.Append("log", Bytes({1})));
+  storage.Restart();
+  EXPECT_FALSE(storage.crashed());
+  EXPECT_EQ(*storage.Read("log"), Bytes({1}));
+  // The consumed schedule does not fire again.
+  EXPECT_TRUE(storage.Append("log", Bytes({2})));
+  EXPECT_EQ(*storage.Read("log"), Bytes({1, 2}));
+}
+
+TEST(MemStorageTest, CrashMatrixCoversEveryWriteAndMode) {
+  const auto matrix = CrashMatrix(3, /*seed=*/1);
+  ASSERT_EQ(matrix.size(), 12u);  // 3 writes x 4 fatal modes.
+  for (const CrashPoint& point : matrix) {
+    EXPECT_NE(point.mode, CrashMode::kNone);
+    EXPECT_LT(point.write_index, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,151 @@
+// WAL framing, checksum rejection, and torn-tail detection.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/storage.h"
+#include "mergeable/aggregate/wal.h"
+
+namespace mergeable {
+namespace {
+
+WalRecord Report(uint64_t shard, uint64_t epoch,
+                 std::initializer_list<uint8_t> payload) {
+  WalRecord record;
+  record.type = WalRecordType::kReport;
+  record.shard_id = shard;
+  record.epoch = epoch;
+  record.payload = std::vector<uint8_t>(payload);
+  return record;
+}
+
+TEST(WalTest, RoundTripsRecordsInOrder) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  WalRecord begin;
+  begin.type = WalRecordType::kEpochBegin;
+  begin.shard_id = 4;  // n_shards.
+  begin.epoch = 9;
+  ASSERT_TRUE(writer.Append(begin));
+  ASSERT_TRUE(writer.Append(Report(0, 9, {1, 2, 3})));
+  ASSERT_TRUE(writer.Append(Report(2, 9, {})));
+  WalRecord lost;
+  lost.type = WalRecordType::kShardLost;
+  lost.shard_id = 1;
+  lost.epoch = 9;
+  ASSERT_TRUE(writer.Append(lost));
+  EXPECT_EQ(writer.records_appended(), 4u);
+
+  const WalReplay replay = ReplayWal(storage, "wal");
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, writer.bytes_appended());
+  ASSERT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.records[0].type, WalRecordType::kEpochBegin);
+  EXPECT_EQ(replay.records[0].shard_id, 4u);
+  EXPECT_EQ(replay.records[1].shard_id, 0u);
+  EXPECT_EQ(replay.records[1].payload, std::vector<uint8_t>({1, 2, 3}));
+  EXPECT_EQ(replay.records[2].payload.size(), 0u);
+  EXPECT_EQ(replay.records[3].type, WalRecordType::kShardLost);
+  EXPECT_EQ(replay.records[3].shard_id, 1u);
+}
+
+TEST(WalTest, MissingFileIsEmptyUntornLog) {
+  MemStorage storage;
+  const WalReplay replay = ReplayWal(storage, "wal");
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, 0u);
+  EXPECT_FALSE(replay.torn_tail);
+}
+
+TEST(WalTest, TornFinalRecordKeepsValidPrefix) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append(Report(0, 1, {1, 2})));
+  const uint64_t first_end = writer.bytes_appended();
+  ASSERT_TRUE(writer.Append(Report(1, 1, {3, 4})));
+
+  // Tear the second record at every possible split point: the first
+  // record must always survive, and the tail must always be flagged.
+  auto full = *storage.Read("wal");
+  for (size_t cut = first_end + 1; cut < full.size(); ++cut) {
+    MemStorage torn;
+    ASSERT_TRUE(torn.Append(
+        "wal", std::vector<uint8_t>(full.begin(), full.begin() + cut)));
+    const WalReplay replay = ReplayWal(torn, "wal");
+    ASSERT_EQ(replay.records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(replay.records[0].shard_id, 0u);
+    EXPECT_EQ(replay.valid_bytes, first_end);
+    EXPECT_TRUE(replay.torn_tail);
+  }
+}
+
+TEST(WalTest, BitFlipAnywhereInFinalRecordIsRejected) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append(Report(0, 1, {1, 2})));
+  const uint64_t first_end = writer.bytes_appended();
+  ASSERT_TRUE(writer.Append(Report(1, 1, {3, 4, 5, 6})));
+
+  const auto full = *storage.Read("wal");
+  for (size_t byte = first_end; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = full;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      MemStorage corrupt;
+      ASSERT_TRUE(corrupt.Append("wal", flipped));
+      const WalReplay replay = ReplayWal(corrupt, "wal");
+      // The flip must not smuggle a different record through: either the
+      // tail is rejected (usual), or — when the flip hits the length
+      // field and happens to frame a checksummed prefix — never accepted
+      // as a *valid different* record. Checksum coverage of the body
+      // makes the second case impossible; assert the first.
+      ASSERT_EQ(replay.records.size(), 1u)
+          << "byte=" << byte << " bit=" << bit;
+      EXPECT_TRUE(replay.torn_tail);
+      EXPECT_EQ(replay.valid_bytes, first_end);
+    }
+  }
+}
+
+TEST(WalTest, UnknownRecordTypeStopsReplay) {
+  // A record with an unknown type frames and checksums correctly, so
+  // only the type check can reject it.
+  MemStorage storage;
+  {
+    WalRecord bogus = Report(3, 2, {7});
+    bogus.type = static_cast<WalRecordType>(99);
+    ASSERT_TRUE(storage.Append("wal", EncodeWalRecord(bogus)));
+  }
+  const WalReplay replay = ReplayWal(storage, "wal");
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, 0u);
+}
+
+TEST(WalTest, ChecksumDiffersAcrossRecords) {
+  const auto a = EncodeWalRecord(Report(0, 1, {1}));
+  const auto b = EncodeWalRecord(Report(1, 1, {1}));
+  EXPECT_NE(a, b);
+}
+
+TEST(WalTest, WriterStopsCountingOnCrashedAppend) {
+  CrashPoint point;
+  point.mode = CrashMode::kTornWrite;
+  point.write_index = 1;
+  point.mutation_seed = 3;
+  MemStorage storage(point);
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append(Report(0, 1, {1})));
+  EXPECT_FALSE(writer.Append(Report(1, 1, {2})));
+  EXPECT_EQ(writer.records_appended(), 1u);
+
+  storage.Restart();
+  const WalReplay replay = ReplayWal(storage, "wal");
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].shard_id, 0u);
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -8,8 +8,10 @@
 
 #include "mergeable/core/concepts.h"
 #include "mergeable/frequency/misra_gries.h"
+#include "mergeable/sketch/count_min.h"
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
+#include "mergeable/util/bytes.h"
 
 namespace mergeable {
 namespace {
@@ -145,6 +147,93 @@ TEST(MergeDriverTest, SummarizeShardsWorksWithRealSummaries) {
       MergeAll(std::move(summaries), MergeTopology::kBalancedTree);
   EXPECT_EQ(merged.n(), stream.size());
   EXPECT_LE(merged.size(), 16u);
+}
+
+// Degenerate input shapes. The paper's guarantee is about arbitrary
+// merge trees, which includes the trivial ones: a single shard must be
+// the identity, and duplicated shards must aggregate exactly like the
+// equivalent single stream.
+
+std::vector<uint8_t> Encoded(const CountMinSketch& sketch) {
+  ByteWriter writer;
+  sketch.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+TEST(MergeDriverDegenerateTest, ZeroShardsSummarizeToNothing) {
+  const std::vector<std::vector<uint64_t>> no_shards;
+  const auto summaries =
+      SummarizeShards(no_shards, [] { return ExactSum{}; });
+  EXPECT_TRUE(summaries.empty());
+  // And the merge of nothing is a programmer error, not a silent empty.
+  EXPECT_DEATH(MergeAll(std::move(summaries), MergeTopology::kBalancedTree),
+               "at least one summary");
+}
+
+TEST(MergeDriverDegenerateTest, OneShardEqualsDirectSummary) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 4000;
+  spec.universe = 512;
+  const auto stream = GenerateStream(spec, 9);
+  const auto factory = [] {
+    return CountMinSketch::ForEpsilonDelta(0.01, 0.01, 77);
+  };
+
+  CountMinSketch direct = factory();
+  for (uint64_t item : stream) direct.Update(item);
+
+  for (MergeTopology topology : kAllTopologies) {
+    Rng rng(11);
+    auto summaries = SummarizeShards(
+        std::vector<std::vector<uint64_t>>{stream}, factory);
+    ASSERT_EQ(summaries.size(), 1u);
+    const CountMinSketch merged =
+        MergeAll(std::move(summaries), topology, &rng);
+    EXPECT_EQ(Encoded(merged), Encoded(direct)) << ToString(topology);
+  }
+}
+
+TEST(MergeDriverDegenerateTest, AllDuplicateShardsEqualDirectSummary) {
+  // Every shard is the same report. Merging k copies must behave exactly
+  // like one stream that repeats the data k times — a linear sketch
+  // makes the comparison byte-exact.
+  StreamSpec spec;
+  spec.kind = StreamKind::kUniform;
+  spec.n = 1000;
+  spec.universe = 128;
+  const auto stream = GenerateStream(spec, 13);
+  constexpr size_t kCopies = 5;
+  const std::vector<std::vector<uint64_t>> shards(kCopies, stream);
+  const auto factory = [] {
+    return CountMinSketch::ForEpsilonDelta(0.02, 0.01, 33);
+  };
+
+  CountMinSketch direct = factory();
+  for (size_t copy = 0; copy < kCopies; ++copy) {
+    for (uint64_t item : stream) direct.Update(item);
+  }
+
+  for (MergeTopology topology : kAllTopologies) {
+    Rng rng(17);
+    const CountMinSketch merged =
+        MergeAll(SummarizeShards(shards, factory), topology, &rng);
+    EXPECT_EQ(merged.n(), stream.size() * kCopies);
+    EXPECT_EQ(Encoded(merged), Encoded(direct)) << ToString(topology);
+  }
+}
+
+TEST(MergeDriverDegenerateTest, AllDuplicateShardsExactCounts) {
+  // Same shape with an exact summary: counts must be exactly k-fold.
+  std::vector<uint64_t> data = {1, 2, 2, 3, 3, 3};
+  const std::vector<std::vector<uint64_t>> shards(4, data);
+  const ExactSum merged = MergeAll(
+      SummarizeShards(shards, [] { return ExactSum{}; }),
+      MergeTopology::kBalancedTree);
+  EXPECT_EQ(merged.n, 24u);
+  EXPECT_EQ(merged.counts.at(1), 4u);
+  EXPECT_EQ(merged.counts.at(2), 8u);
+  EXPECT_EQ(merged.counts.at(3), 12u);
 }
 
 TEST(MergeDriverDeathTest, EmptyInputAborts) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -68,8 +69,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 64}, Shape{1, 4096}, Shape{3, 256},
                       Shape{5, 1024}, Shape{8, 128}),
     [](const ::testing::TestParamInfo<Shape>& info) {
-      return "d" + std::to_string(std::get<0>(info.param)) + "w" +
-             std::to_string(std::get<1>(info.param));
+      // Built with append instead of operator+ chains: GCC 12's -O3
+      // inliner raises a -Wrestrict false positive on the latter.
+      std::string name = "d";
+      name += std::to_string(std::get<0>(info.param));
+      name += 'w';
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 class CountSketchShapeTest : public ::testing::TestWithParam<Shape> {};
@@ -99,8 +105,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 512}, Shape{3, 1024}, Shape{5, 256},
                       Shape{7, 2048}),
     [](const ::testing::TestParamInfo<Shape>& info) {
-      return "d" + std::to_string(std::get<0>(info.param)) + "w" +
-             std::to_string(std::get<1>(info.param));
+      // Built with append instead of operator+ chains: GCC 12's -O3
+      // inliner raises a -Wrestrict false positive on the latter.
+      std::string name = "d";
+      name += std::to_string(std::get<0>(info.param));
+      name += 'w';
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 class CounterEpsilonSweepTest : public ::testing::TestWithParam<int> {};
