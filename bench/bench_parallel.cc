@@ -1,0 +1,274 @@
+// Experiment E11 — parallel merge-reduce scaling.
+//
+// Mergeability (paper §1) means the merge tree is semantically free, so
+// the reduction over m shard summaries can run as a balanced tree with
+// independent subtrees merged concurrently. This harness sweeps thread
+// count x shard count x summary type and reports wall time plus speedup
+// over the single-thread run of the same balanced topology; the parallel
+// result is byte-checked against the sequential one on every cell (the
+// determinism contract from DESIGN.md §9, enforced, not assumed).
+//
+// A second table times batched vs scalar ingestion (UpdateBatch /
+// AddBatch hot paths) on a Zipf stream: same state byte-for-byte, fewer
+// hash/counter round trips.
+//
+// `--smoke` shrinks every dimension so CI can execute the binary in
+// seconds; BENCH_parallel.json mirrors whichever sweep ran.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/core/thread_pool.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/sketch/bloom.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/sketch/count_sketch.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/util/bytes.h"
+
+namespace mergeable::bench {
+namespace {
+
+bool g_smoke = false;
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<uint64_t> ShardStream(size_t shard, uint32_t n) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = n;
+  spec.universe = 1 << 14;
+  spec.alpha = 1.1;
+  return GenerateStream(spec, shard * 7919 + 13);
+}
+
+template <typename S>
+std::vector<uint8_t> Encoded(const S& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+// One sweep row set for a summary type: builds `shards` summaries once,
+// then times the balanced-tree reduction at each thread count (median of
+// `reps`), asserting byte-identity to the sequential merge throughout.
+template <typename Factory>
+void SweepSummary(const std::string& name, Factory factory,
+                  const std::vector<size_t>& shard_counts,
+                  const std::vector<int>& thread_counts, int reps) {
+  std::vector<std::string> columns = {"shards"};
+  for (int threads : thread_counts) {
+    columns.push_back("T=" + std::to_string(threads) + " ms");
+  }
+  columns.push_back("speedup@max");
+  PrintHeader(name + " parallel merge-reduce", columns);
+
+  for (size_t shards : shard_counts) {
+    using S = decltype(factory(size_t{0}));
+    std::vector<S> originals;
+    originals.reserve(shards);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      originals.push_back(factory(shard));
+    }
+    const std::vector<uint8_t> expected = Encoded(
+        MergeAll(std::vector<S>(originals), MergeTopology::kBalancedTree));
+
+    std::vector<std::string> row = {FormatU64(shards)};
+    double first_ms = 0.0;
+    double last_ms = 0.0;
+    for (int threads : thread_counts) {
+      ThreadPool pool(threads);
+      double best_ms = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        std::vector<S> parts(originals);  // Copy: merge consumes parts.
+        const auto start = std::chrono::steady_clock::now();
+        const S merged = ParallelMergeAll(std::move(parts), pool);
+        const double ms = SecondsSince(start) * 1e3;
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        if (Encoded(merged) != expected) {
+          std::fprintf(stderr,
+                       "FATAL: %s parallel merge diverged from sequential "
+                       "(shards=%zu threads=%d)\n",
+                       name.c_str(), shards, threads);
+          std::exit(1);
+        }
+      }
+      if (threads == thread_counts.front()) first_ms = best_ms;
+      last_ms = best_ms;
+      row.push_back(FormatDouble(best_ms, 3));
+    }
+    row.push_back(FormatDouble(last_ms > 0.0 ? first_ms / last_ms : 0.0, 2));
+    PrintRow(row);
+  }
+}
+
+void SweepBatchedIngestion(uint32_t n, int reps) {
+  const auto stream = ShardStream(1, n);
+  std::vector<double> doubles;
+  doubles.reserve(stream.size());
+  for (uint64_t item : stream) {
+    doubles.push_back(static_cast<double>(item & 0xffff));
+  }
+
+  PrintHeader("batched vs scalar ingestion (" + FormatU64(n) + " items)",
+              {"summary", "scalar ms", "batch ms", "speedup"});
+
+  // Times `scalar` vs `batched` (best of reps) and prints one row.
+  auto report = [&](const std::string& name, auto scalar, auto batched) {
+    double scalar_ms = 0.0;
+    double batch_ms = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      scalar();
+      const double s = SecondsSince(start) * 1e3;
+      if (rep == 0 || s < scalar_ms) scalar_ms = s;
+      start = std::chrono::steady_clock::now();
+      batched();
+      const double b = SecondsSince(start) * 1e3;
+      if (rep == 0 || b < batch_ms) batch_ms = b;
+    }
+    PrintRow({name, FormatDouble(scalar_ms, 3), FormatDouble(batch_ms, 3),
+              FormatDouble(batch_ms > 0.0 ? scalar_ms / batch_ms : 0.0,
+                           2)});
+  };
+
+  report(
+      "CountMin(4x2048)",
+      [&] {
+        CountMinSketch sketch(4, 2048, 1);
+        for (uint64_t item : stream) sketch.Update(item);
+      },
+      [&] {
+        CountMinSketch sketch(4, 2048, 1);
+        sketch.UpdateBatch(stream.data(), stream.size());
+      });
+  report(
+      "CountSketch(4x2048)",
+      [&] {
+        CountSketch sketch(4, 2048, 1);
+        for (uint64_t item : stream) sketch.Update(item);
+      },
+      [&] {
+        CountSketch sketch(4, 2048, 1);
+        sketch.UpdateBatch(stream.data(), stream.size());
+      });
+  report(
+      "Bloom(1M bits, k=5)",
+      [&] {
+        BloomFilter filter(1 << 20, 5, 1);
+        for (uint64_t item : stream) filter.Add(item);
+      },
+      [&] {
+        BloomFilter filter(1 << 20, 5, 1);
+        filter.AddBatch(stream.data(), stream.size());
+      });
+  report(
+      "SpaceSaving(1024)",
+      [&] {
+        SpaceSaving ss(1024);
+        for (uint64_t item : stream) ss.Update(item);
+      },
+      [&] {
+        SpaceSaving ss(1024);
+        ss.UpdateBatch(stream.data(), stream.size());
+      });
+  report(
+      "MergeableQuantiles(256)",
+      [&] {
+        MergeableQuantiles sketch(256, 1);
+        for (double value : doubles) sketch.Update(value);
+      },
+      [&] {
+        MergeableQuantiles sketch(256, 1);
+        sketch.UpdateBatch(doubles.data(), doubles.size());
+      });
+}
+
+int Main() {
+  const uint32_t per_shard = g_smoke ? 2000 : 100000;
+  const int reps = g_smoke ? 1 : 3;
+  const std::vector<size_t> shard_counts =
+      g_smoke ? std::vector<size_t>{4, 16}
+              : std::vector<size_t>{8, 32, 128};
+  const std::vector<int> thread_counts =
+      g_smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("E11: balanced-tree merge-reduce, %u items/shard%s\n",
+              per_shard, g_smoke ? " (smoke)" : "");
+
+  SweepSummary(
+      "SpaceSaving(1024)",
+      [&](size_t shard) {
+        SpaceSaving ss(1024);
+        const auto stream = ShardStream(shard, per_shard);
+        ss.UpdateBatch(stream.data(), stream.size());
+        return ss;
+      },
+      shard_counts, thread_counts, reps);
+  SweepSummary(
+      "MisraGries(1024)",
+      [&](size_t shard) {
+        MisraGries mg(1024);
+        for (uint64_t item : ShardStream(shard, per_shard)) mg.Update(item);
+        return mg;
+      },
+      shard_counts, thread_counts, reps);
+  SweepSummary(
+      "MergeableQuantiles(256)",
+      [&](size_t shard) {
+        MergeableQuantiles sketch(256, shard * 31 + 7);
+        for (uint64_t item : ShardStream(shard, per_shard)) {
+          sketch.Update(static_cast<double>(item & 0xffff));
+        }
+        return sketch;
+      },
+      shard_counts, thread_counts, reps);
+  SweepSummary(
+      "CountMin(4x2048)",
+      [&](size_t shard) {
+        CountMinSketch sketch(4, 2048, 99);
+        const auto stream = ShardStream(shard, per_shard);
+        sketch.UpdateBatch(stream.data(), stream.size());
+        return sketch;
+      },
+      shard_counts, thread_counts, reps);
+  SweepSummary(
+      "QDigest(u=16, k=1024)",
+      [&](size_t shard) {
+        QDigest digest(16, 1024);
+        for (uint64_t item : ShardStream(shard, per_shard)) {
+          digest.Update(item & 0xffff);
+        }
+        return digest;
+      },
+      shard_counts, thread_counts, reps);
+
+  SweepBatchedIngestion(g_smoke ? 20000 : 1 << 20, reps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mergeable::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      mergeable::bench::g_smoke = true;
+    }
+  }
+  return mergeable::bench::RunAndDump("parallel", &mergeable::bench::Main);
+}

@@ -22,6 +22,7 @@
 #include "mergeable/quantiles/gk.h"
 #include "mergeable/quantiles/qdigest.h"
 #include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/sketch/bloom.h"
 #include "mergeable/sketch/count_min.h"
 #include "mergeable/sketch/count_sketch.h"
 #include "mergeable/stream/generators.h"
@@ -93,6 +94,19 @@ void BM_CountMinUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_CountMinUpdate);
 
+// Batched ingestion: same counters, row-major walk + hoisted hash state.
+void BM_CountMinUpdateBatch(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    CountMinSketch sketch(4, 2048, 1);
+    sketch.UpdateBatch(stream.data(), stream.size());
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_CountMinUpdateBatch);
+
 void BM_CountSketchUpdate(benchmark::State& state) {
   const auto& stream = ZipfStream();
   for (auto _ : state) {
@@ -104,6 +118,55 @@ void BM_CountSketchUpdate(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_CountSketchUpdate);
+
+void BM_CountSketchUpdateBatch(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    CountSketch sketch(4, 2048, 1);
+    sketch.UpdateBatch(stream.data(), stream.size());
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_CountSketchUpdateBatch);
+
+void BM_BloomAdd(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    BloomFilter filter(1 << 20, 5, 1);
+    for (uint64_t item : stream) filter.Add(item);
+    benchmark::DoNotOptimize(filter.added());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomAddBatch(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  for (auto _ : state) {
+    BloomFilter filter(1 << 20, 5, 1);
+    filter.AddBatch(stream.data(), stream.size());
+    benchmark::DoNotOptimize(filter.added());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_BloomAddBatch);
+
+void BM_SpaceSavingUpdateBatch(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SpaceSaving ss(capacity);
+    ss.UpdateBatch(stream.data(), stream.size());
+    benchmark::DoNotOptimize(ss.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_SpaceSavingUpdateBatch)->Arg(64)->Arg(1024);
 
 void BM_MergeableQuantilesUpdate(benchmark::State& state) {
   const auto& stream = ZipfStream();
@@ -119,6 +182,25 @@ void BM_MergeableQuantilesUpdate(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_MergeableQuantilesUpdate)->Arg(128)->Arg(1024);
+
+// Sorted-run bulk insert: one sort per batch, whole-buffer level-0 runs.
+void BM_MergeableQuantilesUpdateBatch(benchmark::State& state) {
+  const auto& stream = ZipfStream();
+  std::vector<double> values;
+  values.reserve(stream.size());
+  for (uint64_t item : stream) {
+    values.push_back(static_cast<double>(item & 0xffff));
+  }
+  const int buffer = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MergeableQuantiles sketch(buffer, 1);
+    sketch.UpdateBatch(values.data(), values.size());
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_MergeableQuantilesUpdateBatch)->Arg(128)->Arg(1024);
 
 void BM_GkUpdate(benchmark::State& state) {
   const auto& stream = ZipfStream();

@@ -54,6 +54,11 @@ struct FuzzStats {
   uint64_t rejected = 0;           // DecodeFrom returned nullopt.
   uint64_t accepted = 0;           // Decoded a (mutated) summary.
   uint64_t reencode_failures = 0;  // Accepted but not self-consistent.
+  // Accepted decodes whose hash index rebuilt more than once while
+  // decoding (summaries exposing index_rebuilds() only). DecodeFrom
+  // knows its entry count up front and must reserve for it; a second
+  // bulk build means the reserve is missing or wrong.
+  uint64_t index_rebuild_violations = 0;
 };
 
 // Fuzzes T::DecodeFrom with `iterations` mutated inputs drawn from
@@ -80,6 +85,9 @@ FuzzStats FuzzDecode(const std::vector<std::vector<uint8_t>>& corpus,
       continue;
     }
     ++stats.accepted;
+    if constexpr (requires { decoded->index_rebuilds(); }) {
+      if (decoded->index_rebuilds() > 1) ++stats.index_rebuild_violations;
+    }
     // Self-consistency: the accepted summary must re-encode to bytes
     // that decode, and the second round trip must be a fixed point.
     ByteWriter first;

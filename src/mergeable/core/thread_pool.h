@@ -1,0 +1,234 @@
+// A small fixed-size thread pool for the parallel merge engine.
+//
+// Design constraints, in order:
+//   * determinism support — the pool never decides *what* work runs, only
+//     *where*; callers partition work by index so results cannot depend on
+//     scheduling (see ParallelMergeAll in merge_driver.h);
+//   * nested-submit safety — a task may itself create a TaskGroup and
+//     wait on it: waiters help drain the shared queue instead of
+//     blocking, so the pool cannot deadlock on its own dependency chain;
+//   * exception transparency — the first exception thrown by a task is
+//     captured and rethrown from Wait()/ParallelFor() on the caller's
+//     thread, after every task of the group has finished.
+//
+// There is no work stealing and no per-thread queue: the workloads here
+// (tree reductions over a few hundred summaries, per-shard decodes) are
+// coarse enough that a single mutex-protected deque is never the
+// bottleneck, and the simplicity keeps the pool easy to reason about
+// under TSan.
+
+#ifndef MERGEABLE_CORE_THREAD_POOL_H_
+#define MERGEABLE_CORE_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. num_threads == 1 is a valid degenerate
+  // pool: every ParallelFor runs inline on the caller (no workers are
+  // spawned at all), which keeps the sequential configuration free of
+  // threading overhead — and of TSan noise.
+  explicit ThreadPool(int num_threads) {
+    MERGEABLE_CHECK_MSG(num_threads >= 1, "ThreadPool needs >= 1 thread");
+    workers_.reserve(static_cast<size_t>(num_threads - 1));
+    for (int i = 1; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  // Total threads that can execute work: the workers plus the caller,
+  // which always participates via TaskGroup::Wait / ParallelFor.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // A batch of tasks submitted together and awaited together. The group
+  // may be created and awaited from inside a pool task (nested submit).
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    ~TaskGroup() { WaitNoThrow(); }
+
+    // Enqueues `fn` for execution by any pool thread (or by a waiter).
+    template <typename Fn>
+    void Submit(Fn&& fn) {
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      pool_.Enqueue(Task{this, std::function<void()>(std::forward<Fn>(fn))});
+    }
+
+    // Blocks until every submitted task has finished, helping execute
+    // queued tasks (of any group) while waiting. Rethrows the first
+    // exception thrown by a task of this group.
+    void Wait() {
+      WaitNoThrow();
+      if (exception_ != nullptr) {
+        std::exception_ptr rethrown = std::exchange(exception_, nullptr);
+        std::rethrow_exception(rethrown);
+      }
+    }
+
+   private:
+    friend class ThreadPool;
+
+    void WaitNoThrow() {
+      while (pending_.load(std::memory_order_acquire) != 0) {
+        if (!pool_.RunOneTask()) {
+          // Queue empty but tasks still in flight on other threads: block
+          // until one of them finishes (or new work arrives to help with).
+          std::unique_lock<std::mutex> lock(pool_.mutex_);
+          pool_.idle_cv_.wait(lock, [this] {
+            return pending_.load(std::memory_order_acquire) == 0 ||
+                   !pool_.queue_.empty();
+          });
+        }
+      }
+    }
+
+    void Finish(std::exception_ptr exception) {
+      if (exception != nullptr) {
+        std::lock_guard<std::mutex> lock(exception_mutex_);
+        if (exception_ == nullptr) exception_ = exception;
+      }
+      // The decrement below may release the owner from Wait(), which may
+      // destroy this group (it lives on the owner's stack) — so nothing
+      // after it may touch `this`. Grab the pool reference first.
+      ThreadPool& pool = pool_;
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task: wake every waiter (the owning thread may be blocked
+        // in WaitNoThrow). The empty lock/unlock pairs the pending_ store
+        // with the waiter's predicate check: without it a waiter that has
+        // evaluated the predicate but not yet blocked would miss this
+        // notify and sleep forever.
+        { std::lock_guard<std::mutex> lock(pool.mutex_); }
+        pool.idle_cv_.notify_all();
+      }
+    }
+
+    ThreadPool& pool_;
+    std::atomic<size_t> pending_{0};
+    std::mutex exception_mutex_;
+    std::exception_ptr exception_ = nullptr;
+  };
+
+  // Runs fn(index) for every index in [0, n), distributed over the pool
+  // plus the calling thread. Blocks until all iterations finish; rethrows
+  // the first exception (remaining iterations are abandoned, running ones
+  // finish). Iterations must be independent — the pool gives no ordering
+  // guarantee between them.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    const size_t helpers = std::min(workers_.size(), n - 1);
+    if (helpers == 0) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    auto run_range = [&next, &cancelled, &fn, n] {
+      size_t i;
+      while (!cancelled.load(std::memory_order_relaxed) &&
+             (i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        try {
+          fn(i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    };
+    TaskGroup group(*this);
+    for (size_t t = 0; t < helpers; ++t) group.Submit(run_range);
+    run_range();  // The caller is the (helpers + 1)-th lane.
+    group.Wait();
+  }
+
+ private:
+  struct Task {
+    TaskGroup* group;
+    std::function<void()> fn;
+  };
+
+  void Enqueue(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    idle_cv_.notify_all();  // Waiters help with new work instead of idling.
+  }
+
+  // Pops and runs one queued task. Returns false if the queue was empty.
+  bool RunOneTask() {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTask(std::move(task));
+    return true;
+  }
+
+  static void RunTask(Task task) {
+    std::exception_ptr exception;
+    try {
+      task.fn();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    task.group->Finish(exception);
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      RunTask(std::move(task));
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;       // Wakes workers (new task / shutdown).
+  std::condition_variable idle_cv_;  // Wakes TaskGroup waiters.
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_CORE_THREAD_POOL_H_

@@ -231,6 +231,9 @@ std::optional<MisraGries> MisraGries::DecodeFrom(ByteReader& reader) {
   if (total > n || !reader.Exhausted()) return std::nullopt;
   // Reject duplicate items.
   MisraGries summary(static_cast<int>(capacity));
+  // One bulk sizing instead of growth rehashes while filling (the
+  // constructor's capped default only covers capacities up to 2^16).
+  summary.counters_.Reserve(count);
   for (const Counter& counter : counters) {
     if (summary.counters_.Contains(counter.item)) return std::nullopt;
     summary.counters_.AddWeight(counter.item, counter.count);

@@ -17,7 +17,8 @@ SpaceSaving::SpaceSaving(int capacity) : capacity_(capacity) {
   const size_t reserve = std::min<size_t>(static_cast<size_t>(capacity),
                                           size_t{1} << 16);
   entries_.reserve(reserve);
-  index_of_.reserve(reserve * 2);
+  min_heap_.reserve(reserve);
+  index_.Reserve(reserve);
 }
 
 SpaceSaving SpaceSaving::ForEpsilon(double epsilon) {
@@ -27,53 +28,109 @@ SpaceSaving SpaceSaving::ForEpsilon(double epsilon) {
   return SpaceSaving(capacity);
 }
 
+void SpaceSaving::AppendEntry(uint64_t item, uint64_t count, uint64_t over) {
+  entries_.push_back(Entry{item, count, over});
+  const auto slot = static_cast<uint32_t>(entries_.size() - 1);
+  index_.Insert(item, slot);
+  min_heap_.push_back(MinRef{count, item, slot});
+  std::push_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+}
+
+void SpaceSaving::RebuildMinHeap() const {
+  min_heap_.clear();
+  min_heap_.reserve(entries_.size());
+  for (size_t slot = 0; slot < entries_.size(); ++slot) {
+    const Entry& entry = entries_[slot];
+    min_heap_.push_back(
+        MinRef{entry.count, entry.item, static_cast<uint32_t>(slot)});
+  }
+  std::make_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+}
+
+uint32_t SpaceSaving::EnsureMinTop() const {
+  MERGEABLE_DCHECK(!entries_.empty());
+  // Bulk rebuild when the deferred maintenance ran the heap dry or let
+  // dead snapshots pile up. Both happen at most once per O(k) updates,
+  // so the O(k) scan amortizes to O(1).
+  if (min_heap_.empty() || min_heap_.size() > 4 * entries_.size()) {
+    RebuildMinHeap();
+  }
+  while (true) {
+    if (min_heap_.empty()) {
+      RebuildMinHeap();
+      continue;
+    }
+    const MinRef top = min_heap_.front();
+    const Entry& entry = entries_[top.slot];
+    if (entry.item == top.item && entry.count == top.count) return top.slot;
+    std::pop_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+    min_heap_.pop_back();
+    if (entry.item == top.item) {
+      // The entry grew since this snapshot was taken. Refresh instead of
+      // dropping: the refreshed copy keeps the entry reachable, and every
+      // remaining heap key is a lower bound of its entry's count — so
+      // when a snapshot validates at the top, it is the exact minimum
+      // (same (count, item) tie-break as a strictly maintained heap).
+      min_heap_.push_back(MinRef{entry.count, entry.item, top.slot});
+      std::push_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+    }
+    // Otherwise the slot was reassigned to a different item, which pushed
+    // its own fresh snapshot at eviction time; drop the dead copy.
+  }
+}
+
 void SpaceSaving::Update(uint64_t item, uint64_t weight) {
   if (weight == 0) return;
   n_ += weight;
-  auto it = index_of_.find(item);
-  if (it != index_of_.end()) {
-    entries_[it->second].count += weight;
-    SiftDown(it->second);
+  if (const std::optional<uint32_t> slot = index_.Find(item)) {
+    // The hot path: one probe, one add. The entry's heap snapshots go
+    // stale-low; EnsureMinTop repairs them if an eviction ever needs to.
+    entries_[*slot].count += weight;
     return;
   }
   if (entries_.size() < static_cast<size_t>(capacity_)) {
-    entries_.push_back(Entry{item, weight, 0});
-    index_of_[item] = entries_.size() - 1;
-    SiftUp(entries_.size() - 1);
+    AppendEntry(item, weight, 0);
     return;
   }
   // Evict the minimum counter: the incoming item inherits its count (the
   // defining SpaceSaving move) and records it as potential overestimation.
-  Entry& root = entries_[0];
-  index_of_.erase(root.item);
-  const uint64_t evicted = root.count;
-  root = Entry{item, evicted + weight, evicted};
-  index_of_[item] = 0;
-  SiftDown(0);
+  const uint32_t slot = EnsureMinTop();
+  std::pop_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+  min_heap_.pop_back();
+  Entry& victim = entries_[slot];
+  index_.Erase(victim.item);
+  const uint64_t evicted = victim.count;
+  victim = Entry{item, evicted + weight, evicted};
+  index_.Insert(item, slot);
+  min_heap_.push_back(MinRef{victim.count, item, slot});
+  std::push_heap(min_heap_.begin(), min_heap_.end(), MinRefGreater);
+}
+
+void SpaceSaving::UpdateBatch(const uint64_t* items, size_t count) {
+  for (size_t i = 0; i < count; ++i) Update(items[i]);
 }
 
 uint64_t SpaceSaving::Count(uint64_t item) const {
-  auto it = index_of_.find(item);
-  return it == index_of_.end() ? 0 : entries_[it->second].count;
+  const std::optional<uint32_t> slot = index_.Find(item);
+  return slot.has_value() ? entries_[*slot].count : 0;
 }
 
 uint64_t SpaceSaving::MinCount() const {
-  return entries_.size() == static_cast<size_t>(capacity_)
-             ? entries_[0].count
-             : 0;
+  if (entries_.size() != static_cast<size_t>(capacity_)) return 0;
+  return entries_[EnsureMinTop()].count;
 }
 
 uint64_t SpaceSaving::UpperEstimate(uint64_t item) const {
-  auto it = index_of_.find(item);
+  const std::optional<uint32_t> slot = index_.Find(item);
   const uint64_t base =
-      it == index_of_.end() ? MinCount() : entries_[it->second].count;
+      slot.has_value() ? entries_[*slot].count : MinCount();
   return base + under_slack_;
 }
 
 uint64_t SpaceSaving::LowerEstimate(uint64_t item) const {
-  auto it = index_of_.find(item);
-  if (it == index_of_.end()) return 0;
-  const Entry& entry = entries_[it->second];
+  const std::optional<uint32_t> slot = index_.Find(item);
+  if (!slot.has_value()) return 0;
+  const Entry& entry = entries_[*slot];
   return entry.count - entry.over;
 }
 
@@ -143,12 +200,11 @@ void SpaceSaving::Merge(const SpaceSaving& other) {
   const uint64_t slack =
       under_slack_ + other.under_slack_ + min1 + min2 + v;
   entries_.clear();
-  index_of_.clear();
+  index_.Clear();
+  InvalidateMinHeap();
   for (const Counter& counter : combined) {
     if (counter.count > v) {
-      entries_.push_back(Entry{counter.item, counter.count - v, 0});
-      index_of_[counter.item] = entries_.size() - 1;
-      SiftUp(entries_.size() - 1);
+      AppendEntry(counter.item, counter.count - v, 0);
     }
   }
   n_ = total_n;
@@ -171,7 +227,8 @@ void SpaceSaving::RebuildByReplay(std::vector<Counter> counters,
                                   uint64_t total_n,
                                   uint64_t new_under_slack) {
   entries_.clear();
-  index_of_.clear();
+  index_.Clear();
+  InvalidateMinHeap();
   n_ = 0;
   under_slack_ = 0;
   // Replaying the combined counters in ascending order reproduces the
@@ -181,37 +238,6 @@ void SpaceSaving::RebuildByReplay(std::vector<Counter> counters,
   for (const Counter& counter : counters) Update(counter.item, counter.count);
   n_ = total_n;
   under_slack_ = new_under_slack;
-}
-
-void SpaceSaving::SiftUp(size_t index) {
-  while (index > 0) {
-    const size_t parent = (index - 1) / 2;
-    if (!HeapLess(entries_[index], entries_[parent])) break;
-    std::swap(entries_[index], entries_[parent]);
-    index_of_[entries_[index].item] = index;
-    index_of_[entries_[parent].item] = parent;
-    index = parent;
-  }
-}
-
-void SpaceSaving::SiftDown(size_t index) {
-  const size_t n = entries_.size();
-  while (true) {
-    size_t smallest = index;
-    const size_t left = 2 * index + 1;
-    const size_t right = 2 * index + 2;
-    if (left < n && HeapLess(entries_[left], entries_[smallest])) {
-      smallest = left;
-    }
-    if (right < n && HeapLess(entries_[right], entries_[smallest])) {
-      smallest = right;
-    }
-    if (smallest == index) break;
-    std::swap(entries_[index], entries_[smallest]);
-    index_of_[entries_[index].item] = index;
-    index_of_[entries_[smallest].item] = smallest;
-    index = smallest;
-  }
 }
 
 std::vector<Counter> CafaroClosedFormMergeSpaceSaving(std::vector<Counter> s1,
@@ -310,6 +336,12 @@ std::optional<SpaceSaving> SpaceSaving::DecodeFrom(ByteReader& reader) {
     return std::nullopt;
   }
   SpaceSaving summary(static_cast<int>(capacity));
+  // The constructor's capped reserve covers every count the 24-bytes-
+  // per-entry check can let through for realistic inputs; reserving the
+  // exact count keeps the flat index at a single bulk build even beyond
+  // the cap (the fuzz harness asserts at most one rebuild).
+  summary.entries_.reserve(count);
+  summary.index_.Reserve(count);
   uint64_t total = 0;
   for (uint32_t i = 0; i < count; ++i) {
     Entry entry;
@@ -318,11 +350,9 @@ std::optional<SpaceSaving> SpaceSaving::DecodeFrom(ByteReader& reader) {
       return std::nullopt;
     }
     if (entry.count == 0 || entry.over > entry.count) return std::nullopt;
-    if (summary.index_of_.count(entry.item) != 0) return std::nullopt;
+    if (summary.index_.Find(entry.item).has_value()) return std::nullopt;
     total += entry.count;
-    summary.entries_.push_back(entry);
-    summary.index_of_[entry.item] = summary.entries_.size() - 1;
-    summary.SiftUp(summary.entries_.size() - 1);
+    summary.AppendEntry(entry.item, entry.count, entry.over);
   }
   // Invariant for every reachable state (streaming keeps sum == n, both
   // merges only shrink it): the counters never outweigh the stream.

@@ -29,6 +29,20 @@
 //                     subtraction, re-run SpaceSaving over the combined
 //                     counters in ascending order; provably never more
 //                     total error, usually much less.
+//
+// Hot-path layout (in the spirit of DIM-SUM's amortized updates): the
+// counters live in a slot-stable array indexed by a flat open-addressing
+// map (util/flat_slot_index.h), and min-maintenance is *deferred*. An
+// increment is a probe plus an add — no heap sift, nothing ordered is
+// maintained. Evictions consult a lazy min-heap of (count, item, slot)
+// snapshots: stale snapshots (the entry grew since it was pushed) are
+// refreshed on pop, and the whole structure is rebuilt in bulk — an O(k)
+// scan — when it runs empty or accumulates too many dead copies. Every
+// eviction still removes the *exact* minimum under the same
+// (count, item) tie-break as a strict heap, so the summary's query-
+// visible state is identical to the textbook implementation; only the
+// bookkeeping cost moved off the per-update path. Encodings are
+// unchanged (same fields, same layout, same validation).
 
 #ifndef MERGEABLE_FREQUENCY_SPACE_SAVING_H_
 #define MERGEABLE_FREQUENCY_SPACE_SAVING_H_
@@ -36,12 +50,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mergeable/frequency/counter.h"
 #include "mergeable/frequency/misra_gries.h"
 #include "mergeable/util/bytes.h"
+#include "mergeable/util/flat_slot_index.h"
 
 namespace mergeable {
 
@@ -56,8 +70,15 @@ class SpaceSaving {
   // 0 < epsilon <= 1.
   static SpaceSaving ForEpsilon(double epsilon);
 
-  // Processes `weight` occurrences of `item` in O(log capacity).
+  // Processes `weight` occurrences of `item`. Amortized O(1) for items
+  // already monitored (one flat-index probe, one add); evictions pay the
+  // deferred min-maintenance described in the header comment.
   void Update(uint64_t item, uint64_t weight = 1);
+
+  // Processes `count` unit-weight items. Equivalent to calling Update on
+  // each in order; the batch form exists so ingestion loops stay in
+  // cache and skip per-call overhead.
+  void UpdateBatch(const uint64_t* items, size_t count);
 
   // Upper bound on the true frequency of `item`.
   uint64_t UpperEstimate(uint64_t item) const;
@@ -83,6 +104,11 @@ class SpaceSaving {
 
   // Number of monitored counters; at most capacity().
   size_t size() const { return entries_.size(); }
+
+  // Bulk rebuilds the flat item index has performed (exposed so the
+  // decode fuzz harness can assert DecodeFrom pre-reserves: a decode
+  // must trigger at most one).
+  uint64_t index_rebuilds() const { return index_.rebuilds(); }
 
   // Monitored counters sorted by descending count.
   std::vector<Counter> Counters() const;
@@ -118,15 +144,34 @@ class SpaceSaving {
     uint64_t over = 0;
   };
 
-  // Min-heap maintenance over entries_ (ordered by count).
-  void SiftUp(size_t index);
-  void SiftDown(size_t index);
+  // A snapshot of one entry in the lazy min-heap. Stale when the slot's
+  // entry no longer matches (item replaced or count grown).
+  struct MinRef {
+    uint64_t count = 0;
+    uint64_t item = 0;
+    uint32_t slot = 0;
+  };
   // Strict total order (count, then item) so eviction under ties is
   // deterministic and matches the closed-form merge's positional choice.
-  bool HeapLess(const Entry& a, const Entry& b) const {
-    if (a.count != b.count) return a.count < b.count;
-    return a.item < b.item;
+  static bool MinRefGreater(const MinRef& a, const MinRef& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item > b.item;
   }
+
+  // Appends a fresh entry (summary not at capacity) and indexes it.
+  void AppendEntry(uint64_t item, uint64_t count, uint64_t over);
+
+  // Deferred min-maintenance: discards/refreshes stale heap snapshots
+  // until the top references the exact current minimum entry, rebuilding
+  // the heap in bulk when it runs dry or bloats. Requires entries_
+  // non-empty. Returns the minimum's slot.
+  uint32_t EnsureMinTop() const;
+
+  // Drops every min-heap snapshot; the next EnsureMinTop rebuilds in
+  // bulk. Called by operations that rewrite many counts at once.
+  void InvalidateMinHeap() const { min_heap_.clear(); }
+
+  void RebuildMinHeap() const;
 
   // Counters minus the minimum (when full): the MG-domain view used by
   // both merges. Returned in unspecified order, along with the subtracted
@@ -141,8 +186,12 @@ class SpaceSaving {
   int capacity_;
   uint64_t n_ = 0;
   uint64_t under_slack_ = 0;
-  std::vector<Entry> entries_;                    // Min-heap by count.
-  std::unordered_map<uint64_t, size_t> index_of_;  // item -> heap position.
+  std::vector<Entry> entries_;  // Slot-stable, unordered.
+  FlatSlotIndex index_;         // item -> slot in entries_.
+  // Lazy min-heap of entry snapshots (MinRefGreater => min at front).
+  // Mutable: queries like MinCount() repair it without being mutating in
+  // any observable sense.
+  mutable std::vector<MinRef> min_heap_;
 };
 
 // The Cafaro et al. closed-form merge (their Algorithm 3) for SpaceSaving

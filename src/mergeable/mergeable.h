@@ -22,6 +22,7 @@
 #include "mergeable/approx/range_counting.h"
 #include "mergeable/core/concepts.h"
 #include "mergeable/core/merge_driver.h"
+#include "mergeable/core/thread_pool.h"
 #include "mergeable/frequency/counter.h"
 #include "mergeable/frequency/exact_counter.h"
 #include "mergeable/frequency/misra_gries.h"

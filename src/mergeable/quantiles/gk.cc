@@ -136,7 +136,13 @@ std::optional<GkSummary> GkSummary::DecodeFrom(ByteReader& reader) {
       !reader.GetU32(&count) || count > n) {
     return std::nullopt;
   }
+  // Each tuple needs 24 encoded bytes; reject counts the input cannot
+  // back before reserving.
+  if (static_cast<uint64_t>(count) * 24 > reader.remaining()) {
+    return std::nullopt;
+  }
   GkSummary summary(epsilon);
+  summary.tuples_.reserve(count);
   uint64_t total_g = 0;
   double previous = 0.0;
   for (uint32_t i = 0; i < count; ++i) {

@@ -37,6 +37,25 @@ void MergeableQuantiles::Update(double value) {
   if (levels_[0].size() >= static_cast<size_t>(buffer_size_)) CompactFrom(0);
 }
 
+void MergeableQuantiles::UpdateBatch(const double* values, size_t count) {
+  if (count == 0) return;
+  std::vector<double> sorted(values, values + count);
+  std::sort(sorted.begin(), sorted.end());
+  n_ += count;
+  size_t pos = 0;
+  while (pos < count) {
+    std::vector<double>& base = levels_[0];
+    // Level 0 always has room here: Update/CompactFrom leave it strictly
+    // below buffer_size_.
+    const size_t room = static_cast<size_t>(buffer_size_) - base.size();
+    const size_t take = std::min(room, count - pos);
+    base.insert(base.end(), sorted.begin() + static_cast<ptrdiff_t>(pos),
+                sorted.begin() + static_cast<ptrdiff_t>(pos + take));
+    pos += take;
+    if (base.size() >= static_cast<size_t>(buffer_size_)) CompactFrom(0);
+  }
+}
+
 void MergeableQuantiles::UpdateWeighted(double value, uint64_t weight) {
   if (weight == 0) return;
   n_ += weight;
@@ -79,7 +98,12 @@ void MergeableQuantiles::CompactFrom(size_t level) {
     // reallocate, which would invalidate a reference into it.
     std::vector<double> buffer = std::move(levels_[level]);
     levels_[level].clear();
-    std::sort(buffer.begin(), buffer.end());
+    // Buffers fed by UpdateBatch's sorted runs (and many cascades of
+    // already-halved levels) arrive sorted; the O(n) check dodges the
+    // O(n log n) sort for them and costs a single pass otherwise.
+    if (!std::is_sorted(buffer.begin(), buffer.end())) {
+      std::sort(buffer.begin(), buffer.end());
+    }
     // An odd element count cannot be halved without losing weight; the
     // largest element stays behind at this level, error-free.
     if (buffer.size() % 2 == 1) {

@@ -61,6 +61,15 @@ class MergeableQuantiles {
 
   void Update(double value);
 
+  // Processes `count` values with the same epsilon * n guarantee as
+  // calling Update on each (the guarantee holds for every stream order,
+  // so feeding the batch sorted is just another valid stream). The batch
+  // is sorted once up front and fed to level 0 in whole-buffer runs;
+  // the cascade's compactions then find their buffers already sorted and
+  // skip the per-buffer sort, which is where per-item ingestion spends
+  // most of its time.
+  void UpdateBatch(const double* values, size_t count);
+
   // Processes `weight` occurrences of `value` in O(log weight) buffer
   // appends: the weight is decomposed into powers of two and the value
   // is inserted at the matching levels. Equivalent to calling Update

@@ -179,7 +179,13 @@ std::optional<QDigest> QDigest::DecodeFrom(ByteReader& reader) {
       !reader.GetU32(&count)) {
     return std::nullopt;
   }
+  // Each node needs 16 encoded bytes; reject counts the input cannot
+  // back before sizing the map.
+  if (static_cast<uint64_t>(count) * 16 > reader.remaining()) {
+    return std::nullopt;
+  }
   QDigest digest(static_cast<int>(log_universe), k);
+  digest.nodes_.reserve(count);
   const uint64_t max_id = (uint64_t{1} << (log_universe + 1));
   uint64_t total = 0;
   for (uint32_t i = 0; i < count; ++i) {

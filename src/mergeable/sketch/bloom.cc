@@ -29,10 +29,15 @@ BloomFilter BloomFilter::ForExpectedItems(uint64_t expected_items, double fpr,
   return BloomFilter(bits, hashes, seed);
 }
 
+namespace {
+// Salt separating the second Kirsch-Mitzenmacher base hash from the first.
+constexpr uint64_t kSecondHashSalt = 0x5851f42d4c957f2dULL;
+}  // namespace
+
 uint64_t BloomFilter::BitIndex(int hash, uint64_t item) const {
   // Kirsch-Mitzenmacher double hashing: h1 + i*h2 over two mixes.
   const uint64_t h1 = MixHash(item, seed_);
-  const uint64_t h2 = MixHash(item, seed_ ^ 0x5851f42d4c957f2dULL) | 1;
+  const uint64_t h2 = MixHash(item, seed_ ^ kSecondHashSalt) | 1;
   return (h1 + static_cast<uint64_t>(hash) * h2) % bits_;
 }
 
@@ -41,6 +46,38 @@ void BloomFilter::Add(uint64_t item) {
   for (int h = 0; h < hashes_; ++h) {
     const uint64_t bit = BitIndex(h, item);
     words_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+void BloomFilter::AddBatch(const uint64_t* items, size_t count) {
+  added_ += count;
+  constexpr size_t kBlock = 256;
+  constexpr size_t kPrefetchAhead = 8;
+  uint64_t h1s[kBlock];
+  uint64_t h2s[kBlock];
+  for (size_t start = 0; start < count; start += kBlock) {
+    const size_t block = std::min(kBlock, count - start);
+    // Pass 1: the two base hashes, once per item (BitIndex recomputes
+    // them per probe — the dominant per-item cost for k probes).
+    for (size_t i = 0; i < block; ++i) {
+      const uint64_t item = items[start + i];
+      h1s[i] = MixHash(item, seed_);
+      h2s[i] = MixHash(item, seed_ ^ kSecondHashSalt) | 1;
+    }
+    // Pass 2: set the probe bits, with the first probed word of the item
+    // a few slots ahead already on its way into cache.
+    for (size_t i = 0; i < block; ++i) {
+      if (i + kPrefetchAhead < block) {
+        __builtin_prefetch(&words_[(h1s[i + kPrefetchAhead] % bits_) / 64],
+                           1);
+      }
+      const uint64_t h1 = h1s[i];
+      const uint64_t h2 = h2s[i];
+      for (int h = 0; h < hashes_; ++h) {
+        const uint64_t bit = (h1 + static_cast<uint64_t>(h) * h2) % bits_;
+        words_[bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
   }
 }
 

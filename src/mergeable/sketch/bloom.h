@@ -30,6 +30,17 @@ class BloomFilter {
 
   void Add(uint64_t item);
 
+  // Adds `count` items; identical bit pattern to per-item Add. The batch
+  // form computes each item's two base hashes once (per-item Add
+  // recomputes them for every probe), and prefetches the probed words a
+  // few items ahead.
+  void AddBatch(const uint64_t* items, size_t count);
+
+  // Alias so the sketches share one batched-ingestion spelling.
+  void UpdateBatch(const uint64_t* items, size_t count) {
+    AddBatch(items, count);
+  }
+
   // True if `item` may have been added; false means definitely not.
   bool MayContain(uint64_t item) const;
 

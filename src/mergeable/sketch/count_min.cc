@@ -64,6 +64,38 @@ void CountMinSketch::Update(uint64_t item, uint64_t weight) {
   }
 }
 
+void CountMinSketch::UpdateBatch(const uint64_t* items, size_t count) {
+  if (update_ == CountMinUpdate::kConservative) {
+    // Conservative updates read the current estimate, so they are
+    // order-dependent; the batch form must preserve per-item semantics.
+    for (size_t i = 0; i < count; ++i) Update(items[i]);
+    return;
+  }
+  n_ += count;
+  // Two passes per (row, block): hash the whole block with hoisted
+  // coefficients, then bump the counters with the next lines prefetched.
+  // Row-major blocks keep one row's counters hot instead of striding
+  // through depth_ rows per item.
+  constexpr size_t kBlock = 256;
+  constexpr size_t kPrefetchAhead = 8;
+  uint64_t buckets[kBlock];
+  for (size_t start = 0; start < count; start += kBlock) {
+    const size_t block = std::min(kBlock, count - start);
+    for (int row = 0; row < depth_; ++row) {
+      uint64_t* row_counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      hashes_[static_cast<size_t>(row)].BoundedBatch(
+          items + start, block, static_cast<uint64_t>(width_), buckets);
+      for (size_t i = 0; i < block; ++i) {
+        if (i + kPrefetchAhead < block) {
+          __builtin_prefetch(row_counters + buckets[i + kPrefetchAhead], 1);
+        }
+        row_counters[buckets[i]] += 1;
+      }
+    }
+  }
+}
+
 uint64_t CountMinSketch::Estimate(uint64_t item) const {
   uint64_t best = ~uint64_t{0};
   for (int row = 0; row < depth_; ++row) {

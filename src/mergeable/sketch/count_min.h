@@ -50,6 +50,14 @@ class CountMinSketch {
 
   void Update(uint64_t item, uint64_t weight = 1);
 
+  // Processes `count` unit-weight items. Identical results to calling
+  // Update on each (plain updates commute); the batch form walks the
+  // counter matrix row-major over blocks of items with hoisted hash
+  // state and prefetched counter lines, so ingestion is bound by memory
+  // bandwidth instead of per-item latency. Conservative sketches fall
+  // back to the per-item loop (their updates are order-dependent).
+  void UpdateBatch(const uint64_t* items, size_t count);
+
   // Upper bound on f(item) (exact lower bound f(item) <= Estimate always
   // holds; the epsilon bound holds with probability 1 - delta).
   uint64_t Estimate(uint64_t item) const;

@@ -32,6 +32,29 @@ void CountSketch::Update(uint64_t item, int64_t weight) {
   }
 }
 
+void CountSketch::UpdateBatch(const uint64_t* items, size_t count) {
+  n_ += count;
+  constexpr size_t kBlock = 256;
+  constexpr size_t kPrefetchAhead = 8;
+  uint64_t buckets[kBlock];
+  for (size_t start = 0; start < count; start += kBlock) {
+    const size_t block = std::min(kBlock, count - start);
+    for (int row = 0; row < depth_; ++row) {
+      int64_t* row_counters =
+          counters_.data() + static_cast<size_t>(row) * width_;
+      bucket_hashes_[static_cast<size_t>(row)].BoundedBatch(
+          items + start, block, static_cast<uint64_t>(width_), buckets);
+      const PolynomialHash& sign = sign_hashes_[static_cast<size_t>(row)];
+      for (size_t i = 0; i < block; ++i) {
+        if (i + kPrefetchAhead < block) {
+          __builtin_prefetch(row_counters + buckets[i + kPrefetchAhead], 1);
+        }
+        row_counters[buckets[i]] += sign.Sign(items[start + i]);
+      }
+    }
+  }
+}
+
 int64_t CountSketch::Estimate(uint64_t item) const {
   std::vector<int64_t> estimates(static_cast<size_t>(depth_));
   for (int row = 0; row < depth_; ++row) {

@@ -28,6 +28,12 @@ class CountSketch {
 
   void Update(uint64_t item, int64_t weight = 1);
 
+  // Processes `count` unit-weight items; identical results to per-item
+  // Update (signed additions commute). Batched like CountMinSketch:
+  // row-major blocks, hoisted bucket-hash coefficients, prefetched
+  // counter lines.
+  void UpdateBatch(const uint64_t* items, size_t count);
+
   // Unbiased estimate of f(item) (median of per-row estimators).
   int64_t Estimate(uint64_t item) const;
 

@@ -74,6 +74,9 @@ std::optional<KmvSketch> KmvSketch::DecodeFrom(ByteReader& reader) {
     return std::nullopt;
   }
   KmvSketch sketch(static_cast<int>(k), seed);
+  // Exact reserve: the constructor's capped default only covers k up to
+  // 2^16, and `size` is already validated against the input length.
+  sketch.heap_.reserve(size);
   for (uint32_t i = 0; i < size; ++i) {
     uint64_t hash = 0;
     if (!reader.GetU64(&hash)) return std::nullopt;

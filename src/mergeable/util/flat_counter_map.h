@@ -76,6 +76,13 @@ class FlatCounterMap {
     return result;
   }
 
+  // Ensures `expected_entries` entries fit without rehashing (decode
+  // paths know their exact entry count up front).
+  void Reserve(size_t expected_entries) {
+    const size_t wanted = SlotsFor(expected_entries);
+    if (wanted > slots_.size()) Rehash(wanted);
+  }
+
   // Removes all entries, keeping the current capacity.
   void Clear() {
     for (Slot& slot : slots_) slot = Slot{};

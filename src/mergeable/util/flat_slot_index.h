@@ -1,0 +1,142 @@
+// A flat open-addressing map from uint64_t items to array slot numbers.
+//
+// This is the index behind the amortized SpaceSaving hot path: one probe
+// sequence per stream update, no per-node allocation, no std::hash
+// indirection. Unlike FlatCounterMap it supports deletion, because
+// SpaceSaving evicts an item on every miss once the counter table is
+// full. Deletions leave tombstones (linear probing must keep probe
+// chains intact); the table rebuilds in bulk — dropping every tombstone
+// — once tombstones outnumber a fixed fraction of the slots, so the
+// amortized cost per operation stays O(1) and probe chains stay short.
+// The rebuild count is exposed for tests (the decode fuzz harness
+// asserts a decode performs at most one rebuild).
+
+#ifndef MERGEABLE_UTIL_FLAT_SLOT_INDEX_H_
+#define MERGEABLE_UTIL_FLAT_SLOT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+
+class FlatSlotIndex {
+ public:
+  // Creates an empty index able to hold `expected_entries` live entries
+  // without rebuilding.
+  explicit FlatSlotIndex(size_t expected_entries = 8) {
+    cells_.assign(SlotsFor(expected_entries), Cell{});
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Bulk table rebuilds performed so far (growth or tombstone purge).
+  // The initial allocation does not count.
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  // Returns the slot stored for `key`, or nullopt if absent.
+  std::optional<uint32_t> Find(uint64_t key) const {
+    const size_t mask = cells_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (true) {
+      const Cell& cell = cells_[index];
+      if (cell.state == State::kEmpty) return std::nullopt;
+      if (cell.state == State::kFull && cell.key == key) return cell.slot;
+      index = (index + 1) & mask;
+    }
+  }
+
+  // Inserts `key -> slot`. The key must be absent (checked in debug
+  // builds via the probe below: inserting a present key would shadow it).
+  void Insert(uint64_t key, uint32_t slot) {
+    MERGEABLE_DCHECK(!Find(key).has_value());
+    if ((size_ + tombstones_ + 1) * 10 > cells_.size() * 7) {
+      // Rebuild before the load factor (live + tombstones) crosses 0.7:
+      // grow if the live entries need it, otherwise just purge tombstones.
+      Rebuild((size_ + 1) * 10 > cells_.size() * 7 ? cells_.size() * 2
+                                                   : cells_.size());
+    }
+    const size_t mask = cells_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (cells_[index].state == State::kFull) index = (index + 1) & mask;
+    if (cells_[index].state == State::kTombstone) --tombstones_;
+    cells_[index] = Cell{key, slot, State::kFull};
+    ++size_;
+  }
+
+  // Removes `key` (no-op if absent), leaving a tombstone.
+  void Erase(uint64_t key) {
+    const size_t mask = cells_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (true) {
+      Cell& cell = cells_[index];
+      if (cell.state == State::kEmpty) return;
+      if (cell.state == State::kFull && cell.key == key) {
+        cell.state = State::kTombstone;
+        --size_;
+        ++tombstones_;
+        return;
+      }
+      index = (index + 1) & mask;
+    }
+  }
+
+  // Drops every entry, keeping the current capacity (no rebuild counted).
+  void Clear() {
+    for (Cell& cell : cells_) cell = Cell{};
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  // Ensures `expected_entries` live entries fit without a rebuild.
+  void Reserve(size_t expected_entries) {
+    const size_t wanted = SlotsFor(expected_entries);
+    if (wanted > cells_.size()) Rebuild(wanted);
+  }
+
+ private:
+  enum class State : uint8_t { kEmpty, kFull, kTombstone };
+
+  struct Cell {
+    uint64_t key = 0;
+    uint32_t slot = 0;
+    State state = State::kEmpty;
+  };
+
+  static size_t SlotsFor(size_t entries) {
+    size_t slots = 16;
+    // Keep load factor below 0.7.
+    while (slots * 7 < entries * 10) slots *= 2;
+    return slots;
+  }
+
+  void Rebuild(size_t new_slots) {
+    MERGEABLE_DCHECK((new_slots & (new_slots - 1)) == 0);
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_slots, Cell{});
+    const size_t mask = cells_.size() - 1;
+    for (const Cell& cell : old) {
+      if (cell.state != State::kFull) continue;
+      size_t index = MixHash(cell.key) & mask;
+      while (cells_[index].state == State::kFull) index = (index + 1) & mask;
+      cells_[index] = cell;
+    }
+    tombstones_ = 0;
+    ++rebuilds_;
+  }
+
+  std::vector<Cell> cells_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_FLAT_SLOT_INDEX_H_

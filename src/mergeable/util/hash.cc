@@ -49,4 +49,23 @@ uint64_t PolynomialHash::operator()(uint64_t x) const {
   return acc;
 }
 
+void PolynomialHash::BoundedBatch(const uint64_t* items, size_t n,
+                                  uint64_t bound, uint64_t* out) const {
+  MERGEABLE_DCHECK(bound > 0);
+  if (coefficients_.size() == 2) {
+    // Degree 2 unrolled: Horner over {a0, a1} is exactly one field
+    // multiply-add. Coefficients are already in [0, p), so the first
+    // Horner step ModMersenne(0 * key + a1) == a1 — identical results to
+    // operator(), minus the loop and the per-call coefficient loads.
+    const uint64_t a0 = coefficients_[0];
+    const uint64_t a1 = coefficients_[1];
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = items[i] % kPrime;
+      out[i] = ModMersenne(static_cast<__uint128_t>(a1) * key + a0) % bound;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = Bounded(items[i], bound);
+}
+
 }  // namespace mergeable

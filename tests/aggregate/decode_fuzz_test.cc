@@ -63,6 +63,7 @@ void RunFuzz(const std::vector<std::vector<uint8_t>>& corpus,
   EXPECT_EQ(stats.iterations, kIterations);
   EXPECT_EQ(stats.rejected + stats.accepted, kIterations);
   EXPECT_EQ(stats.reencode_failures, 0u);
+  EXPECT_EQ(stats.index_rebuild_violations, 0u);
 }
 
 TEST(DecodeFuzzTest, MisraGries) {

@@ -1,0 +1,251 @@
+// Determinism and zero-copy tests for the parallel merge engine.
+//
+// The load-bearing claim (merge_driver.h): ParallelMergeAll is
+// byte-identical — via EncodeTo — to the sequential balanced-tree
+// MergeAll for every summary type and every thread count, because the
+// tree topology is fixed and all randomness is per-node. These tests
+// assert exactly that over thread counts {1, 2, 8} and shard counts
+// {1, 3, 64}, for the randomized summaries (MergeableQuantiles) as well
+// as the deterministic ones.
+
+#include "mergeable/core/merge_driver.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/core/thread_pool.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/quantiles/qdigest.h"
+#include "mergeable/sketch/count_min.h"
+#include "mergeable/stream/generators.h"
+#include "mergeable/util/bytes.h"
+
+namespace mergeable {
+namespace {
+
+constexpr size_t kShardCounts[] = {1, 3, 64};
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+template <typename S>
+std::vector<uint8_t> Encoded(const S& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+std::vector<uint64_t> ShardStream(size_t shard, uint32_t n = 500) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = n;
+  spec.universe = 256;
+  return GenerateStream(spec, /*seed=*/shard * 7919 + 13);
+}
+
+// Builds per-shard summaries with `factory(shard)` and asserts the
+// parallel balanced reduction encodes byte-identically to the
+// sequential one for every (threads, shards) combination.
+template <typename Factory>
+void ExpectParallelMatchesSequential(Factory factory) {
+  for (const size_t shards : kShardCounts) {
+    auto make_parts = [&] {
+      using S = decltype(factory(size_t{0}));
+      std::vector<S> parts;
+      parts.reserve(shards);
+      for (size_t shard = 0; shard < shards; ++shard) {
+        parts.push_back(factory(shard));
+      }
+      return parts;
+    };
+    const auto sequential =
+        MergeAll(make_parts(), MergeTopology::kBalancedTree);
+    const std::vector<uint8_t> expected = Encoded(sequential);
+    for (const int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      const auto parallel = ParallelMergeAll(make_parts(), pool);
+      EXPECT_EQ(Encoded(parallel), expected)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ParallelMergeTest, SpaceSavingByteIdentical) {
+  ExpectParallelMatchesSequential([](size_t shard) {
+    SpaceSaving summary(32);
+    for (uint64_t item : ShardStream(shard)) summary.Update(item);
+    return summary;
+  });
+}
+
+TEST(ParallelMergeTest, MisraGriesByteIdentical) {
+  ExpectParallelMatchesSequential([](size_t shard) {
+    MisraGries summary(32);
+    for (uint64_t item : ShardStream(shard)) summary.Update(item);
+    return summary;
+  });
+}
+
+TEST(ParallelMergeTest, MergeableQuantilesByteIdentical) {
+  // The randomized summary: each instance carries its own RNG (seeded
+  // per shard), and merges evolve it from the accumulator's state only —
+  // so even the coin flips cannot depend on scheduling.
+  ExpectParallelMatchesSequential([](size_t shard) {
+    MergeableQuantiles summary(64, /*seed=*/shard * 31 + 7);
+    for (uint64_t item : ShardStream(shard)) {
+      summary.Update(static_cast<double>(item));
+    }
+    return summary;
+  });
+}
+
+TEST(ParallelMergeTest, CountMinByteIdentical) {
+  ExpectParallelMatchesSequential([](size_t shard) {
+    CountMinSketch sketch(4, 128, /*seed=*/99);
+    for (uint64_t item : ShardStream(shard)) sketch.Update(item);
+    return sketch;
+  });
+}
+
+TEST(ParallelMergeTest, QDigestByteIdentical) {
+  ExpectParallelMatchesSequential([](size_t shard) {
+    QDigest digest(/*log_universe=*/16, /*k=*/64);
+    // Zipf item IDs are 64-bit hashes; fold them into the digest universe.
+    for (uint64_t item : ShardStream(shard)) digest.Update(item & 0xffff);
+    return digest;
+  });
+}
+
+// ---- Zero-copy verification ----
+
+// A summary that counts copies; the merge drivers promise to move, never
+// copy. The counter is atomic because parallel merges run concurrently.
+struct CopyCounting {
+  uint64_t value = 0;
+
+  static std::atomic<uint64_t>& copies() {
+    static std::atomic<uint64_t> count{0};
+    return count;
+  }
+
+  CopyCounting() = default;
+  explicit CopyCounting(uint64_t v) : value(v) {}
+  CopyCounting(const CopyCounting& other) : value(other.value) {
+    copies().fetch_add(1, std::memory_order_relaxed);
+  }
+  CopyCounting& operator=(const CopyCounting& other) {
+    value = other.value;
+    copies().fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  CopyCounting(CopyCounting&&) = default;
+  CopyCounting& operator=(CopyCounting&&) = default;
+
+  void Merge(const CopyCounting& other) { value += other.value; }
+};
+
+std::vector<CopyCounting> CopyCountingParts(size_t n) {
+  std::vector<CopyCounting> parts;
+  parts.reserve(n);
+  for (size_t i = 0; i < n; ++i) parts.emplace_back(i + 1);
+  return parts;
+}
+
+class MergeAllTopologyTest : public ::testing::TestWithParam<MergeTopology> {};
+
+TEST_P(MergeAllTopologyTest, MergeAllWithNeverCopies) {
+  Rng rng(5);
+  const uint64_t before = CopyCounting::copies().load();
+  const CopyCounting merged =
+      MergeAllWith(CopyCountingParts(37), GetParam(),
+                   [](CopyCounting& into, const CopyCounting& from) {
+                     into.Merge(from);
+                   },
+                   &rng);
+  EXPECT_EQ(merged.value, 37u * 38u / 2u);
+  EXPECT_EQ(CopyCounting::copies().load(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, MergeAllTopologyTest,
+                         ::testing::ValuesIn(kAllTopologies));
+
+TEST(ParallelMergeTest, ParallelMergeAllNeverCopies) {
+  for (const int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const uint64_t before = CopyCounting::copies().load();
+    const CopyCounting merged = ParallelMergeAll(CopyCountingParts(64), pool);
+    EXPECT_EQ(merged.value, 64u * 65u / 2u);
+    EXPECT_EQ(CopyCounting::copies().load(), before) << "threads=" << threads;
+  }
+}
+
+// A move-aware merge function must receive the consumed side as an
+// rvalue (InvokeMerge): summaries with heavy buffers steal them.
+TEST(ParallelMergeTest, MoveAwareMergeFunctionReceivesRvalue) {
+  struct MoveMerged {
+    uint64_t value = 0;
+    bool merged_from_rvalue = false;
+  };
+  std::vector<MoveMerged> parts(8);
+  for (size_t i = 0; i < parts.size(); ++i) parts[i].value = i;
+  const MoveMerged merged = MergeAllWith(
+      std::move(parts), MergeTopology::kBalancedTree,
+      [](MoveMerged& into, MoveMerged&& from) {
+        into.value += from.value;
+        into.merged_from_rvalue = true;
+      });
+  EXPECT_EQ(merged.value, 28u);
+  EXPECT_TRUE(merged.merged_from_rvalue);
+}
+
+// ---- MergeNodeSeed ----
+
+TEST(MergeNodeSeedTest, DeterministicAndPositionSensitive) {
+  EXPECT_EQ(MergeNodeSeed(1, 2, 3), MergeNodeSeed(1, 2, 3));
+  std::set<uint64_t> seeds;
+  for (size_t level = 0; level < 8; ++level) {
+    for (size_t index = 0; index < 8; ++index) {
+      seeds.insert(MergeNodeSeed(42, level, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 64u) << "position seeds must not collide";
+  EXPECT_NE(MergeNodeSeed(1, 0, 0), MergeNodeSeed(2, 0, 0));
+}
+
+TEST(ParallelMergeTest, SeededMergeFnSeesSameSeedsForEveryThreadCount) {
+  // A merge function taking the node seed: the multiset of seeds it
+  // observes must depend only on the reduction shape, not on threads.
+  auto run = [](int threads) {
+    std::vector<CopyCounting> parts = CopyCountingParts(16);
+    ThreadPool pool(threads);
+    std::atomic<uint64_t> seed_xor{0};
+    ParallelMergeAllWith(
+        std::move(parts), pool,
+        [&seed_xor](CopyCounting& into, CopyCounting& from, uint64_t seed) {
+          into.Merge(from);
+          seed_xor.fetch_xor(seed, std::memory_order_relaxed);
+        },
+        /*base_seed=*/777);
+    return seed_xor.load();
+  };
+  const uint64_t expected = run(1);
+  EXPECT_NE(expected, 0u);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(8), expected);
+}
+
+TEST(ParallelMergeDeathTest, EmptyPartsAborts) {
+  ThreadPool pool(2);
+  std::vector<CopyCounting> empty;
+  EXPECT_DEATH(ParallelMergeAll(std::move(empty), pool),
+               "MergeAll needs at least one summary");
+}
+
+}  // namespace
+}  // namespace mergeable

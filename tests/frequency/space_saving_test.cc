@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
 
 namespace mergeable {
 namespace {
@@ -289,6 +292,170 @@ TEST(SpaceSavingPaperExampleTest, ClosedFormMatchesSection522) {
 
 TEST(SpaceSavingTest, ForEpsilonSizesCapacity) {
   EXPECT_EQ(SpaceSaving::ForEpsilon(0.02).capacity(), 50);
+}
+
+// ---- Amortized-path equivalence against a textbook reference ----
+//
+// SpaceSaving's lazy min-heap + flat index are pure representation: the
+// query-visible state must match a naive implementation doing an exact
+// full-scan min with the same (count, item) eviction tie-break, after
+// every single update.
+
+class ReferenceSpaceSaving {
+ public:
+  explicit ReferenceSpaceSaving(size_t capacity) : capacity_(capacity) {}
+
+  void Update(uint64_t item, uint64_t weight = 1) {
+    n_ += weight;
+    auto it = counts_.find(item);
+    if (it != counts_.end()) {
+      it->second.first += weight;
+      return;
+    }
+    if (counts_.size() < capacity_) {
+      counts_[item] = {weight, 0};
+      return;
+    }
+    auto victim = counts_.begin();
+    for (auto scan = counts_.begin(); scan != counts_.end(); ++scan) {
+      if (scan->second.first < victim->second.first ||
+          (scan->second.first == victim->second.first &&
+           scan->first < victim->first)) {
+        victim = scan;
+      }
+    }
+    const uint64_t evicted = victim->second.first;
+    counts_.erase(victim);
+    counts_[item] = {evicted + weight, evicted};
+  }
+
+  std::vector<Counter> Counters() const {
+    std::vector<Counter> result;
+    for (const auto& [item, entry] : counts_) {
+      result.push_back(Counter{item, entry.first});
+    }
+    SortByCountDescending(result);
+    return result;
+  }
+
+  uint64_t MinCount() const {
+    if (counts_.size() < capacity_) return 0;
+    uint64_t min = ~uint64_t{0};
+    for (const auto& [item, entry] : counts_) {
+      min = std::min(min, entry.first);
+    }
+    return min;
+  }
+
+  uint64_t LowerEstimate(uint64_t item) const {
+    auto it = counts_.find(item);
+    return it == counts_.end() ? 0 : it->second.first - it->second.second;
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  size_t capacity_;
+  uint64_t n_ = 0;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> counts_;
+};
+
+void ExpectMatchesReference(const std::vector<uint64_t>& stream,
+                            int capacity) {
+  SpaceSaving fast(capacity);
+  ReferenceSpaceSaving slow(capacity);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    fast.Update(stream[i]);
+    slow.Update(stream[i]);
+    ASSERT_EQ(fast.n(), slow.n()) << "after update " << i;
+    ASSERT_EQ(fast.MinCount(), slow.MinCount()) << "after update " << i;
+    ASSERT_EQ(fast.Counters(), slow.Counters()) << "after update " << i;
+  }
+  for (const Counter& counter : slow.Counters()) {
+    ASSERT_EQ(fast.LowerEstimate(counter.item),
+              slow.LowerEstimate(counter.item))
+        << "item " << counter.item;
+  }
+  EXPECT_EQ(fast.UnderSlack(), 0u);  // Update never introduces slack.
+}
+
+TEST(SpaceSavingReferenceTest, ZipfStreamMatchesExactMinReference) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 5000;
+  spec.universe = 512;
+  ExpectMatchesReference(GenerateStream(spec, 91), 32);
+}
+
+TEST(SpaceSavingReferenceTest, RoundRobinTiesMatchReference) {
+  // Every counter always has the same count: maximal tie-breaking stress
+  // and an eviction on every single update once warm.
+  std::vector<uint64_t> stream;
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t item = 0; item < 64; ++item) stream.push_back(item);
+  }
+  ExpectMatchesReference(stream, 16);
+}
+
+TEST(SpaceSavingReferenceTest, EvictReinsertChurnMatchesReference) {
+  // Alternate a stable heavy set with waves of one-off items, so evicted
+  // items return and stale heap snapshots pile up.
+  std::vector<uint64_t> stream;
+  uint64_t fresh = 1000;
+  for (int round = 0; round < 500; ++round) {
+    for (uint64_t heavy = 0; heavy < 8; ++heavy) stream.push_back(heavy);
+    for (int i = 0; i < 8; ++i) stream.push_back(fresh++);
+    stream.push_back(round % 16);
+  }
+  ExpectMatchesReference(stream, 12);
+}
+
+TEST(SpaceSavingReferenceTest, WeightedUpdatesMatchReference) {
+  Rng rng(92);
+  SpaceSaving fast(8);
+  ReferenceSpaceSaving slow(8);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t item = rng.UniformInt(64);
+    const uint64_t weight = 1 + rng.UniformInt(5);
+    fast.Update(item, weight);
+    slow.Update(item, weight);
+    ASSERT_EQ(fast.MinCount(), slow.MinCount()) << "after update " << i;
+    ASSERT_EQ(fast.Counters(), slow.Counters()) << "after update " << i;
+  }
+}
+
+TEST(SpaceSavingTest, UpdateBatchMatchesScalarExactly) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 20000;
+  spec.universe = 1024;
+  const auto stream = GenerateStream(spec, 93);
+  SpaceSaving scalar(64);
+  for (uint64_t item : stream) scalar.Update(item);
+  SpaceSaving batched(64);
+  batched.UpdateBatch(stream.data(), stream.size());
+  ByteWriter scalar_bytes;
+  scalar.EncodeTo(scalar_bytes);
+  ByteWriter batched_bytes;
+  batched.EncodeTo(batched_bytes);
+  EXPECT_EQ(batched_bytes.bytes(), scalar_bytes.bytes());
+  EXPECT_EQ(batched.n(), scalar.n());
+}
+
+TEST(SpaceSavingTest, DecodeDoesAtMostOneIndexRebuild) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.n = 30000;
+  spec.universe = 4096;
+  const auto stream = GenerateStream(spec, 94);
+  SpaceSaving ss(512);
+  for (uint64_t item : stream) ss.Update(item);
+  ByteWriter writer;
+  ss.EncodeTo(writer);
+  ByteReader reader(writer.bytes());
+  const auto decoded = SpaceSaving::DecodeFrom(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_LE(decoded->index_rebuilds(), 1u);
 }
 
 TEST(SpaceSavingDeathTest, InvalidConstruction) {

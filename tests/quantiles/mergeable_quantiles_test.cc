@@ -1,5 +1,6 @@
 #include "mergeable/quantiles/mergeable_quantiles.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -8,6 +9,7 @@
 
 #include "mergeable/core/merge_driver.h"
 #include "mergeable/quantiles/exact_quantiles.h"
+#include "mergeable/util/bytes.h"
 #include "mergeable/util/random.h"
 
 namespace mergeable {
@@ -232,6 +234,56 @@ TEST(MergeableQuantilesTest, LargeSingleWeight) {
   EXPECT_EQ(sketch.Rank(7.5), 1u << 20);
   EXPECT_DOUBLE_EQ(sketch.Quantile(0.25), 5.0);
   EXPECT_DOUBLE_EQ(sketch.Quantile(0.95), 10.0);
+}
+
+TEST(MergeableQuantilesTest, UpdateBatchMatchesScalarOverSortedInput) {
+  // UpdateBatch sorts its input and feeds level 0 in whole runs, which
+  // is byte-equivalent to per-item updates over the same sorted values:
+  // identical compaction points, identical RNG consumption.
+  Rng rng(40);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.UniformDouble());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  MergeableQuantiles scalar(64, /*seed=*/41);
+  for (double v : sorted) scalar.Update(v);
+  MergeableQuantiles batched(64, /*seed=*/41);
+  batched.UpdateBatch(values.data(), values.size());
+  ByteWriter scalar_bytes;
+  scalar.EncodeTo(scalar_bytes);
+  ByteWriter batched_bytes;
+  batched.EncodeTo(batched_bytes);
+  EXPECT_EQ(batched_bytes.bytes(), scalar_bytes.bytes());
+  EXPECT_EQ(batched.n(), scalar.n());
+}
+
+TEST(MergeableQuantilesTest, UpdateBatchKeepsRankErrorBound) {
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.UniformDouble());
+  MergeableQuantiles sketch(kBufferSize, /*seed=*/43);
+  ExactQuantiles exact;
+  for (size_t pos = 0; pos < values.size(); pos += 1237) {
+    const size_t take = std::min<size_t>(1237, values.size() - pos);
+    sketch.UpdateBatch(values.data() + pos, take);
+    for (size_t i = 0; i < take; ++i) exact.Update(values[pos + i]);
+  }
+  EXPECT_EQ(sketch.n(), values.size());
+  // Same heuristic bound the scalar accuracy tests use.
+  const double bound = 2.0 * static_cast<double>(values.size()) /
+                       static_cast<double>(kBufferSize);
+  EXPECT_LE(MaxRankError(sketch, exact, 200, 44), bound);
+}
+
+TEST(MergeableQuantilesTest, UpdateBatchBelowBufferIsExact) {
+  std::vector<double> values;
+  for (int i = 50; i >= 1; --i) values.push_back(i);
+  MergeableQuantiles sketch(256, /*seed=*/45);
+  sketch.UpdateBatch(values.data(), values.size());
+  EXPECT_EQ(sketch.Compactions(), 0u);
+  for (int i = 1; i <= 50; ++i) {
+    ASSERT_EQ(sketch.Rank(i), static_cast<uint64_t>(i));
+  }
 }
 
 TEST(MergeableQuantilesDeathTest, InvalidParameters) {

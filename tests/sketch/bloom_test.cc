@@ -1,8 +1,11 @@
 #include "mergeable/sketch/bloom.h"
 
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "mergeable/util/bytes.h"
 
 namespace mergeable {
 namespace {
@@ -72,6 +75,38 @@ TEST(BloomTest, ForExpectedItemsPicksSaneShape) {
   // Theory: m ~ 9585 bits, k ~ 7 hashes.
   EXPECT_NEAR(static_cast<double>(filter.bits()), 9585.0, 50.0);
   EXPECT_EQ(filter.hashes(), 7);
+}
+
+TEST(BloomTest, AddBatchMatchesScalarExactly) {
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 3000; ++i) items.push_back(i * 2654435761u + 17);
+  BloomFilter scalar(8192, 5, /*seed=*/4);
+  for (uint64_t item : items) scalar.Add(item);
+  BloomFilter batched(8192, 5, /*seed=*/4);
+  batched.AddBatch(items.data(), items.size());
+  ByteWriter scalar_bytes;
+  scalar.EncodeTo(scalar_bytes);
+  ByteWriter batched_bytes;
+  batched.EncodeTo(batched_bytes);
+  EXPECT_EQ(batched_bytes.bytes(), scalar_bytes.bytes());
+  EXPECT_EQ(batched.added(), scalar.added());
+}
+
+TEST(BloomTest, AddBatchOddSizesMatchScalar) {
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 600; ++i) items.push_back(i * 11400714819323198485ull);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{255}, size_t{256},
+                   size_t{257}, size_t{600}}) {
+    BloomFilter scalar(1024, 3, /*seed=*/5);
+    for (size_t i = 0; i < n; ++i) scalar.Add(items[i]);
+    BloomFilter batched(1024, 3, /*seed=*/5);
+    batched.AddBatch(items.data(), n);
+    ByteWriter scalar_bytes;
+    scalar.EncodeTo(scalar_bytes);
+    ByteWriter batched_bytes;
+    batched.EncodeTo(batched_bytes);
+    ASSERT_EQ(batched_bytes.bytes(), scalar_bytes.bytes()) << "n=" << n;
+  }
 }
 
 TEST(BloomDeathTest, InvalidParameters) {

@@ -1,5 +1,6 @@
 #include "mergeable/sketch/count_min.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -8,6 +9,7 @@
 
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
+#include "mergeable/util/bytes.h"
 
 namespace mergeable {
 namespace {
@@ -138,6 +140,50 @@ TEST(CountMinDeathTest, InvalidParameters) {
   EXPECT_DEATH(CountMinSketch(0, 8, 1), "depth");
   EXPECT_DEATH(CountMinSketch(2, 0, 1), "width");
   EXPECT_DEATH(CountMinSketch::ForEpsilonDelta(0.0, 0.1, 1), "epsilon");
+}
+
+std::vector<uint8_t> Encoded(const CountMinSketch& sketch) {
+  ByteWriter writer;
+  sketch.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+TEST(CountMinTest, UpdateBatchMatchesScalarExactly) {
+  const auto stream = TestStream(61);
+  CountMinSketch scalar(4, 256, /*seed=*/5);
+  for (uint64_t item : stream) scalar.Update(item);
+  CountMinSketch batched(4, 256, /*seed=*/5);
+  batched.UpdateBatch(stream.data(), stream.size());
+  EXPECT_EQ(Encoded(batched), Encoded(scalar));
+  EXPECT_EQ(batched.n(), scalar.n());
+}
+
+TEST(CountMinTest, UpdateBatchInChunksMatchesOneShot) {
+  const auto stream = TestStream(62);
+  CountMinSketch one_shot(4, 128, /*seed=*/6);
+  one_shot.UpdateBatch(stream.data(), stream.size());
+  CountMinSketch chunked(4, 128, /*seed=*/6);
+  // Chunk sizes straddle the internal block size (including 0 and 1).
+  size_t pos = 0;
+  for (size_t chunk : {size_t{1}, size_t{0}, size_t{255}, size_t{256},
+                       size_t{257}, size_t{1000}}) {
+    const size_t take = std::min(chunk, stream.size() - pos);
+    chunked.UpdateBatch(stream.data() + pos, take);
+    pos += take;
+  }
+  chunked.UpdateBatch(stream.data() + pos, stream.size() - pos);
+  EXPECT_EQ(Encoded(chunked), Encoded(one_shot));
+}
+
+TEST(CountMinTest, UpdateBatchConservativeMatchesScalar) {
+  // Conservative updates are order-dependent, so the batch path must
+  // fall back to per-item application in stream order.
+  const auto stream = TestStream(63);
+  CountMinSketch scalar(4, 256, /*seed=*/7, CountMinUpdate::kConservative);
+  for (uint64_t item : stream) scalar.Update(item);
+  CountMinSketch batched(4, 256, /*seed=*/7, CountMinUpdate::kConservative);
+  batched.UpdateBatch(stream.data(), stream.size());
+  EXPECT_EQ(Encoded(batched), Encoded(scalar));
 }
 
 TEST(CountMinDeathTest, MergeRequiresIdenticalConfig) {

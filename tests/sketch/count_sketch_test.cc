@@ -9,6 +9,7 @@
 
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
+#include "mergeable/util/bytes.h"
 
 namespace mergeable {
 namespace {
@@ -109,6 +110,37 @@ TEST(CountSketchTest, NegativeWeightsCancel) {
   sketch.Update(7, 10);
   sketch.Update(7, -10);
   EXPECT_EQ(sketch.Estimate(7), 0);
+}
+
+TEST(CountSketchTest, UpdateBatchMatchesScalarExactly) {
+  const auto stream = TestStream(71);
+  CountSketch scalar(5, 128, /*seed=*/9);
+  for (uint64_t item : stream) scalar.Update(item);
+  CountSketch batched(5, 128, /*seed=*/9);
+  batched.UpdateBatch(stream.data(), stream.size());
+  ByteWriter scalar_bytes;
+  scalar.EncodeTo(scalar_bytes);
+  ByteWriter batched_bytes;
+  batched.EncodeTo(batched_bytes);
+  EXPECT_EQ(batched_bytes.bytes(), scalar_bytes.bytes());
+  EXPECT_EQ(batched.n(), scalar.n());
+}
+
+TEST(CountSketchTest, UpdateBatchOddSizesMatchScalar) {
+  // Sizes around the internal block boundary, plus empty.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{255}, size_t{256},
+                   size_t{257}, size_t{513}}) {
+    const auto stream = TestStream(72);
+    CountSketch scalar(3, 64, /*seed=*/10);
+    for (size_t i = 0; i < n; ++i) scalar.Update(stream[i]);
+    CountSketch batched(3, 64, /*seed=*/10);
+    batched.UpdateBatch(stream.data(), n);
+    ByteWriter scalar_bytes;
+    scalar.EncodeTo(scalar_bytes);
+    ByteWriter batched_bytes;
+    batched.EncodeTo(batched_bytes);
+    ASSERT_EQ(batched_bytes.bytes(), scalar_bytes.bytes()) << "n=" << n;
+  }
 }
 
 TEST(CountSketchDeathTest, InvalidParameters) {

@@ -1,0 +1,133 @@
+#include "mergeable/util/flat_slot_index.h"
+
+#include <cstdint>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+namespace mergeable {
+namespace {
+
+TEST(FlatSlotIndexTest, StartsEmpty) {
+  FlatSlotIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.rebuilds(), 0u);
+  EXPECT_FALSE(index.Find(42).has_value());
+}
+
+TEST(FlatSlotIndexTest, InsertThenFind) {
+  FlatSlotIndex index;
+  index.Insert(10, 0);
+  index.Insert(20, 1);
+  index.Insert(30, 2);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.Find(10), std::optional<uint32_t>{0});
+  EXPECT_EQ(index.Find(20), std::optional<uint32_t>{1});
+  EXPECT_EQ(index.Find(30), std::optional<uint32_t>{2});
+  EXPECT_FALSE(index.Find(40).has_value());
+}
+
+TEST(FlatSlotIndexTest, HandlesExtremeKeys) {
+  FlatSlotIndex index;
+  index.Insert(0, 1);
+  index.Insert(~uint64_t{0}, 2);
+  EXPECT_EQ(index.Find(0), std::optional<uint32_t>{1});
+  EXPECT_EQ(index.Find(~uint64_t{0}), std::optional<uint32_t>{2});
+}
+
+TEST(FlatSlotIndexTest, EraseRemovesOnlyTheKey) {
+  FlatSlotIndex index;
+  for (uint64_t key = 0; key < 16; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  index.Erase(7);
+  EXPECT_EQ(index.size(), 15u);
+  EXPECT_FALSE(index.Find(7).has_value());
+  for (uint64_t key = 0; key < 16; ++key) {
+    if (key == 7) continue;
+    ASSERT_TRUE(index.Find(key).has_value()) << key;
+  }
+  // Erasing an absent key is a no-op.
+  index.Erase(7);
+  index.Erase(999);
+  EXPECT_EQ(index.size(), 15u);
+}
+
+TEST(FlatSlotIndexTest, ReinsertAfterEraseReclaimsTombstone) {
+  FlatSlotIndex index;
+  index.Insert(1, 5);
+  index.Erase(1);
+  index.Insert(1, 9);
+  EXPECT_EQ(index.Find(1), std::optional<uint32_t>{9});
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(FlatSlotIndexTest, ProbeChainSurvivesMiddleErase) {
+  // Force a collision chain, erase the middle entry and check the tail
+  // stays reachable (tombstones must not break linear probing).
+  FlatSlotIndex index;
+  for (uint64_t key = 0; key < 200; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  for (uint64_t key = 0; key < 200; key += 2) index.Erase(key);
+  for (uint64_t key = 1; key < 200; key += 2) {
+    ASSERT_EQ(index.Find(key), std::optional<uint32_t>{key}) << key;
+  }
+}
+
+TEST(FlatSlotIndexTest, GrowsBeyondInitialCapacityAndCountsRebuilds) {
+  FlatSlotIndex index(/*expected_entries=*/4);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  EXPECT_EQ(index.size(), 10000u);
+  EXPECT_GT(index.rebuilds(), 0u);
+  for (uint64_t key = 0; key < 10000; ++key) {
+    ASSERT_EQ(index.Find(key), std::optional<uint32_t>{key}) << key;
+  }
+}
+
+TEST(FlatSlotIndexTest, ReserveAvoidsRebuilds) {
+  FlatSlotIndex index;
+  index.Reserve(10000);
+  const uint64_t after_reserve = index.rebuilds();
+  for (uint64_t key = 0; key < 10000; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  EXPECT_EQ(index.rebuilds(), after_reserve);
+}
+
+TEST(FlatSlotIndexTest, TombstonePurgeKeepsAmortizedProbesShort) {
+  // Churn: repeated erase+insert at bounded live size must trigger
+  // same-size purge rebuilds rather than growing without bound, and the
+  // index must stay correct throughout.
+  FlatSlotIndex index(/*expected_entries=*/64);
+  for (uint64_t key = 0; key < 64; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  for (uint64_t round = 0; round < 10000; ++round) {
+    const uint64_t old_key = round % 64;
+    const uint64_t new_key = 64 + round;
+    index.Erase(old_key == 0 ? 64 + round - 64 : old_key);
+    index.Insert(new_key, static_cast<uint32_t>(new_key % 64));
+  }
+  EXPECT_GT(index.rebuilds(), 0u);
+}
+
+TEST(FlatSlotIndexTest, ClearDropsEntriesWithoutCountingARebuild) {
+  FlatSlotIndex index;
+  for (uint64_t key = 0; key < 50; ++key) {
+    index.Insert(key, static_cast<uint32_t>(key));
+  }
+  const uint64_t rebuilds = index.rebuilds();
+  index.Clear();
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.rebuilds(), rebuilds);
+  EXPECT_FALSE(index.Find(3).has_value());
+  index.Insert(3, 30);
+  EXPECT_EQ(index.Find(3), std::optional<uint32_t>{30});
+}
+
+}  // namespace
+}  // namespace mergeable
