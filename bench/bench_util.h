@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mergeable::bench {
@@ -30,6 +31,25 @@ struct JsonTable {
 inline std::vector<JsonTable>& JsonTables() {
   static std::vector<JsonTable> tables;
   return tables;
+}
+
+// Named scalar counters mirrored into the JSON alongside the tables —
+// serving metrics (cache hit rate, nodes merged per query, bytes read)
+// that summarize a whole run rather than one table row.
+inline std::vector<std::pair<std::string, double>>& JsonCounters() {
+  static std::vector<std::pair<std::string, double>> counters;
+  return counters;
+}
+
+// Records (or overwrites) a counter for the JSON mirror.
+inline void RecordCounter(const std::string& name, double value) {
+  for (auto& [existing, slot] : JsonCounters()) {
+    if (existing == name) {
+      slot = value;
+      return;
+    }
+  }
+  JsonCounters().emplace_back(name, value);
 }
 
 // Prints a row of right-aligned cells, 14 characters wide, first cell 28.
@@ -114,7 +134,18 @@ inline bool WriteBenchJson(const std::string& name) {
     }
     std::fprintf(file, "\n      ]\n    }");
   }
-  std::fprintf(file, "\n  ]\n}\n");
+  std::fprintf(file, "\n  ]");
+  const auto& counters = JsonCounters();
+  if (!counters.empty()) {
+    std::fprintf(file, ",\n  \"counters\": {");
+    for (size_t i = 0; i < counters.size(); ++i) {
+      std::fprintf(file, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   JsonEscape(counters[i].first).c_str(),
+                   counters[i].second);
+    }
+    std::fprintf(file, "\n  }");
+  }
+  std::fprintf(file, "\n}\n");
   std::fclose(file);
   std::printf("\nwrote %s\n", path.c_str());
   return true;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/util/hash.h"
+
 namespace mergeable {
 namespace {
 
@@ -98,6 +101,21 @@ std::vector<uint8_t> ByteMutator::Mutate(
   const uint64_t rounds = 1 + rng_.UniformInt(4);
   for (uint64_t i = 0; i < rounds; ++i) MutateOnce(mutated, splice_donor);
   return mutated;
+}
+
+std::vector<NamedFuzzStats> FuzzAllRegisteredCodecs(
+    uint64_t iterations_per_codec, uint64_t seed) {
+  std::vector<NamedFuzzStats> results;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    // Per-codec seeds are derived from the tag so adding a codec never
+    // shifts another codec's mutation stream.
+    const uint64_t codec_seed =
+        MixHash(static_cast<uint32_t>(info.tag), seed);
+    const std::vector<std::vector<uint8_t>> corpus = info.corpus(seed);
+    results.push_back(NamedFuzzStats{
+        info.name, info.fuzz(corpus, iterations_per_codec, codec_seed)});
+  }
+  return results;
 }
 
 }  // namespace mergeable

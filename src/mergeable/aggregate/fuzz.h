@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mergeable/core/concepts.h"
@@ -104,6 +105,20 @@ FuzzStats FuzzDecode(const std::vector<std::vector<uint8_t>>& corpus,
   }
   return stats;
 }
+
+// One registered codec's fuzz outcome, named for reporting.
+struct NamedFuzzStats {
+  std::string name;
+  FuzzStats stats;
+};
+
+// Fuzzes every codec in the summary registry (summary_registry.h) with
+// `iterations_per_codec` mutated inputs drawn from the codec's own
+// deterministic corpus. The registry is the single source of truth for
+// "every summary type with a wire format": a type registered there is
+// fuzzed here with no per-type code.
+std::vector<NamedFuzzStats> FuzzAllRegisteredCodecs(
+    uint64_t iterations_per_codec, uint64_t seed);
 
 }  // namespace mergeable
 

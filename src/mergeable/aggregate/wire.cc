@@ -1,5 +1,6 @@
 #include "mergeable/aggregate/wire.h"
 
+#include "mergeable/util/check.h"
 #include "mergeable/util/hash.h"
 
 namespace mergeable {
@@ -7,6 +8,8 @@ namespace {
 
 // 'R' 'P' 'T' '1' read as a little-endian u32.
 constexpr uint32_t kReportMagic = 0x31545052;
+// 'S' 'U' 'M' '1' read as a little-endian u32.
+constexpr uint32_t kTaggedPayloadMagic = 0x314d5553;
 
 }  // namespace
 
@@ -55,6 +58,41 @@ std::optional<WireReport> DecodeReportFrame(
     return std::nullopt;
   }
   return report;
+}
+
+std::vector<uint8_t> EncodeTaggedPayload(SummaryTag tag,
+                                         const std::vector<uint8_t>& payload) {
+  MERGEABLE_CHECK_MSG(
+      IsRegisteredSummaryTag(static_cast<uint32_t>(tag)),
+      "EncodeTaggedPayload requires a registered summary tag");
+  ByteWriter writer;
+  writer.PutU32(kTaggedPayloadMagic);
+  writer.PutU32(static_cast<uint32_t>(tag));
+  writer.PutBytes(payload);
+  writer.PutU64(FrameChecksum(static_cast<uint32_t>(tag), 0, payload));
+  return writer.TakeBytes();
+}
+
+std::optional<TaggedPayload> DecodeTaggedPayload(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic) || magic != kTaggedPayloadMagic) {
+    return std::nullopt;
+  }
+  uint32_t raw_tag = 0;
+  if (!reader.GetU32(&raw_tag) || !IsRegisteredSummaryTag(raw_tag)) {
+    return std::nullopt;
+  }
+  TaggedPayload tagged;
+  tagged.tag = static_cast<SummaryTag>(raw_tag);
+  if (!reader.GetBytes(&tagged.payload)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum) || !reader.Exhausted()) return std::nullopt;
+  if (checksum != FrameChecksum(raw_tag, 0, tagged.payload)) {
+    return std::nullopt;
+  }
+  return tagged;
 }
 
 }  // namespace mergeable

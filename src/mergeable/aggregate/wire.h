@@ -16,6 +16,19 @@
 //   u32  payload_len  followed by payload_len raw payload bytes
 //   u64  checksum     FrameChecksum(shard_id, epoch, payload)
 
+// A second, smaller envelope carries *typed* payloads at rest: a
+// summary encoding prefixed by its registry tag (summary_registry.h),
+// checksummed the same way. The summary store persists every tree node
+// in this envelope so a stored file is self-describing — a reader knows
+// which decoder to dispatch to before touching the payload, and a file
+// of the wrong type is rejected by tag comparison instead of by a
+// decoder accidentally accepting foreign bytes.
+//
+//   u32  magic        'S','U','M','1'
+//   u32  tag          SummaryTag (must be registered)
+//   u32  payload_len  followed by payload_len raw payload bytes
+//   u64  checksum     FrameChecksum(tag, 0, payload)
+
 #ifndef MERGEABLE_AGGREGATE_WIRE_H_
 #define MERGEABLE_AGGREGATE_WIRE_H_
 
@@ -23,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "mergeable/aggregate/summary_registry.h"
 #include "mergeable/util/bytes.h"
 
 namespace mergeable {
@@ -46,6 +60,24 @@ std::vector<uint8_t> EncodeReportFrame(const WireReport& report);
 // Parses one frame; std::nullopt on bad magic, truncation, trailing
 // bytes, or checksum mismatch. Never aborts: frames are network data.
 std::optional<WireReport> DecodeReportFrame(const std::vector<uint8_t>& frame);
+
+// A summary encoding annotated with its registry tag.
+struct TaggedPayload {
+  SummaryTag tag = SummaryTag::kMisraGries;
+  std::vector<uint8_t> payload;
+};
+
+// Serializes `payload` under `tag`. The tag must be registered
+// (summary_registry.h) — an unknown tag is a programming error and
+// aborts, because the writer controls its own tags.
+std::vector<uint8_t> EncodeTaggedPayload(SummaryTag tag,
+                                         const std::vector<uint8_t>& payload);
+
+// Parses a tagged payload; std::nullopt on bad magic, unregistered tag,
+// truncation, trailing bytes, or checksum mismatch. Never aborts: these
+// bytes come from storage, which can tear and flip bits.
+std::optional<TaggedPayload> DecodeTaggedPayload(
+    const std::vector<uint8_t>& bytes);
 
 }  // namespace mergeable
 

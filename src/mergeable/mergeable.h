@@ -12,6 +12,7 @@
 #include "mergeable/aggregate/fuzz.h"
 #include "mergeable/aggregate/snapshot.h"
 #include "mergeable/aggregate/storage.h"
+#include "mergeable/aggregate/summary_registry.h"
 #include "mergeable/aggregate/wal.h"
 #include "mergeable/aggregate/wire.h"
 #include "mergeable/approx/eps_approximation.h"
@@ -40,6 +41,11 @@
 #include "mergeable/sketch/count_sketch.h"
 #include "mergeable/sketch/dyadic_count_min.h"
 #include "mergeable/sketch/kmv.h"
+#include "mergeable/store/dyadic.h"
+#include "mergeable/store/epoch_meta.h"
+#include "mergeable/store/node_cache.h"
+#include "mergeable/store/query.h"
+#include "mergeable/store/summary_store.h"
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
 #include "mergeable/stream/zipf.h"

@@ -1,0 +1,44 @@
+#include "mergeable/store/dyadic.h"
+
+#include <bit>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+std::vector<DyadicNode> DyadicCover(uint64_t lo, uint64_t hi) {
+  MERGEABLE_CHECK_MSG(lo <= hi, "DyadicCover requires lo <= hi");
+  std::vector<DyadicNode> cover;
+  while (lo <= hi) {
+    // The largest aligned block starting at lo: limited by lo's
+    // alignment (trailing zeros) and by the remaining range length.
+    const uint64_t remaining = hi - lo + 1;
+    uint32_t level =
+        lo == 0 ? 63u : static_cast<uint32_t>(std::countr_zero(lo));
+    while ((uint64_t{1} << level) > remaining) --level;
+    cover.push_back(DyadicNode{level, lo >> level});
+    const uint64_t width = uint64_t{1} << level;
+    if (hi - lo < width) break;  // Covered through hi (avoids overflow).
+    lo += width;
+  }
+  return cover;
+}
+
+std::vector<DyadicNode> NodesCompletedBySeal(uint64_t index) {
+  std::vector<DyadicNode> completed;
+  // Level k completes iff 2^k divides index + 1; the chain stops at the
+  // first level that does not (higher ones cannot: carries propagate
+  // from the bottom).
+  const uint64_t boundary = index + 1;
+  for (uint32_t level = 1;
+       level <= 63 && boundary % (uint64_t{1} << level) == 0; ++level) {
+    completed.push_back(DyadicNode{level, (boundary >> level) - 1});
+  }
+  return completed;
+}
+
+uint64_t TotalNodes(uint64_t sealed) {
+  return 2 * sealed - static_cast<uint64_t>(std::popcount(sealed));
+}
+
+}  // namespace mergeable

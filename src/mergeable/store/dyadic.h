@@ -1,0 +1,66 @@
+// Dyadic epoch index arithmetic for the summary store.
+//
+// The store arranges the sealed epochs of a stream as leaves of an
+// implicit dyadic forest: the node at (level k, index i) covers epoch
+// indices [i * 2^k, (i + 1) * 2^k) and holds the merge of those 2^k
+// epoch summaries. Two properties make this the right shape for a
+// serving layer (Storyboard-style precomputation, made sound by the
+// paper's merge-tree independence):
+//
+//   * incremental maintenance is O(1) amortized: sealing leaf e
+//     completes exactly the nodes whose cover ends at e — the binary
+//     carry chain of e + 1 — so n seals build the n - 1 internal nodes
+//     of the forest, ~1 merge per epoch;
+//   * any contiguous range [lo, hi] of epoch indices is the disjoint
+//     union of at most 2 * floor(log2(hi - lo + 1)) + 2 nodes (the
+//     classic dyadic decomposition), so a range query merges O(log n)
+//     precomputed summaries instead of hi - lo + 1 raw epochs.
+//
+// Everything here is pure index arithmetic — no storage, no summaries —
+// so it is unit-tested exhaustively on its own.
+
+#ifndef MERGEABLE_STORE_DYADIC_H_
+#define MERGEABLE_STORE_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mergeable {
+
+// One node of the dyadic forest. Level 0 nodes are the sealed epochs
+// themselves; the node at (level, index) covers epoch indices
+// [index << level, ((index + 1) << level) - 1].
+struct DyadicNode {
+  uint32_t level = 0;
+  uint64_t index = 0;
+
+  uint64_t first() const { return index << level; }
+  uint64_t last() const { return ((index + 1) << level) - 1; }
+  uint64_t width() const { return uint64_t{1} << level; }
+
+  friend bool operator==(const DyadicNode& a, const DyadicNode& b) {
+    return a.level == b.level && a.index == b.index;
+  }
+};
+
+// The minimal set of dyadic nodes whose covers partition [lo, hi], in
+// ascending epoch order. Requires lo <= hi. Every returned node is
+// "complete" relative to any sealed count > hi (its cover lies inside
+// [lo, hi]), so the store can always materialize it. At most
+// 2 * floor(log2(hi - lo + 1)) + 2 nodes are returned.
+std::vector<DyadicNode> DyadicCover(uint64_t lo, uint64_t hi);
+
+// The internal (level >= 1) nodes completed by sealing leaf `index`:
+// the node at level k is completed iff 2^k divides index + 1, i.e. the
+// carry chain of incrementing a binary counter to index + 1. Ordered by
+// ascending level — each node's children exist by the time it is built.
+std::vector<DyadicNode> NodesCompletedBySeal(uint64_t index);
+
+// Number of dyadic-forest nodes (all levels, including leaves) that
+// exist once `sealed` epochs are sealed: sealed leaves plus one internal
+// node per carry performed, which is sealed - popcount(sealed).
+uint64_t TotalNodes(uint64_t sealed);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_STORE_DYADIC_H_

@@ -1,0 +1,97 @@
+#include "mergeable/store/epoch_meta.h"
+
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+namespace {
+
+// 'E' 'P' 'H' '1' read as a little-endian u32.
+constexpr uint32_t kEpochRecordMagic = 0x31485045;
+
+}  // namespace
+
+EpsilonReport AccumulateEpsilon(const std::vector<EpochMeta>& metas,
+                                uint64_t lo, uint64_t hi, double epsilon) {
+  MERGEABLE_CHECK_MSG(lo <= hi && hi < metas.size(),
+                      "AccumulateEpsilon range out of bounds");
+  EpsilonReport report;
+  report.epsilon = epsilon;
+  report.epochs = hi - lo + 1;
+  uint64_t shards_total = 0;
+  uint64_t shards_received = 0;
+  for (uint64_t i = lo; i <= hi; ++i) {
+    const EpochMeta& meta = metas[i];
+    report.n_received += meta.n;
+    report.lost_mass += meta.lost_mass;
+    report.lost_mass_estimated |= meta.lost_mass_estimated;
+    if (meta.degraded()) ++report.degraded_epochs;
+    shards_total += meta.shards_total;
+    shards_received += meta.shards_received;
+  }
+  report.coverage = shards_total == 0
+                        ? 1.0
+                        : static_cast<double>(shards_received) /
+                              static_cast<double>(shards_total);
+  report.received_bound =
+      epsilon * static_cast<double>(report.n_received);
+  report.full_stream_bound =
+      report.received_bound + static_cast<double>(report.lost_mass);
+  return report;
+}
+
+std::vector<uint8_t> EncodeEpochRecord(const EpochMeta& meta,
+                                       const std::vector<uint8_t>& payload) {
+  ByteWriter body;
+  body.PutU64(meta.epoch);
+  body.PutU64(meta.n);
+  body.PutU64(meta.shards_total);
+  body.PutU64(meta.shards_received);
+  body.PutU64(meta.lost_mass);
+  body.PutU32(meta.lost_mass_estimated ? 1 : 0);
+  body.PutBytes(payload);
+
+  ByteWriter writer;
+  writer.PutU32(kEpochRecordMagic);
+  writer.PutBytes(body.bytes());
+  writer.PutU64(FrameChecksum(meta.epoch, meta.n, body.bytes()));
+  return writer.TakeBytes();
+}
+
+std::optional<EpochRecord> DecodeEpochRecord(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic) || magic != kEpochRecordMagic) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> body;
+  if (!reader.GetBytes(&body)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum) || !reader.Exhausted()) return std::nullopt;
+
+  EpochRecord record;
+  ByteReader body_reader(body);
+  uint32_t estimated = 0;
+  if (!body_reader.GetU64(&record.meta.epoch) ||
+      !body_reader.GetU64(&record.meta.n) ||
+      !body_reader.GetU64(&record.meta.shards_total) ||
+      !body_reader.GetU64(&record.meta.shards_received) ||
+      !body_reader.GetU64(&record.meta.lost_mass) ||
+      !body_reader.GetU32(&estimated) || estimated > 1 ||
+      !body_reader.GetBytes(&record.payload) || !body_reader.Exhausted()) {
+    return std::nullopt;
+  }
+  record.meta.lost_mass_estimated = estimated == 1;
+  if (record.meta.shards_received > record.meta.shards_total &&
+      record.meta.shards_total != 0) {
+    return std::nullopt;
+  }
+  if (checksum != FrameChecksum(record.meta.epoch, record.meta.n, body)) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,579 @@
+// The summary store: a query-serving layer over sealed epoch summaries.
+//
+// The aggregation pipeline (aggregate/) produces one sealed summary per
+// (stream, epoch). This store is what turns that stream of summaries
+// into a service (DESIGN.md §10): it persists every sealed epoch
+// through the Storage abstraction, maintains a dyadic merge tree over
+// the epochs (dyadic.h), memoizes materialized merges in a bounded LRU
+// cache with single-flight construction (node_cache.h), and answers
+// arbitrary [t1, t2] range queries by merging O(log n) precomputed
+// nodes instead of every raw epoch — the Storyboard-style precomputed
+// aggregation design that the paper's merge-tree independence makes
+// sound: *any* grouping of the epochs into merge trees preserves the
+// epsilon * n guarantee, so the store is free to choose the grouping
+// that serves queries fastest.
+//
+// Determinism contract: a node's value is defined purely by the epoch
+// payload bytes it covers — node = canonical(merge(left, right)), where
+// canonical(s) is the encode-then-decode fixed point (same contract as
+// the durable coordinator) — and a range result is the balanced
+// canonical merge of its covering nodes. Cold reconstruction after
+// eviction, recovery after restart (Open), batch sealing and parallel
+// query execution all therefore produce byte-identical payloads; the
+// store equivalence suite asserts this against a tree-free reference.
+//
+// Storage layout: one file per node, named
+//   <prefix>/s<stream>/n<level>.<index>
+// Level-0 files hold an epoch record (epoch_meta.h: metadata + tagged
+// payload); higher levels hold a tagged payload (wire.h). Files are
+// immutable once written. After a crash, Open() recovers each stream's
+// longest valid epoch prefix and lazily rebuilds any missing or torn
+// internal node from its children — torn internal nodes cost merges,
+// never correctness.
+//
+// Concurrency: queries are safe to run concurrently with each other
+// (the cache serializes materialization; storage reads are const).
+// Sealing must be externally serialized with queries, like the rest of
+// the write path.
+
+#ifndef MERGEABLE_STORE_SUMMARY_STORE_H_
+#define MERGEABLE_STORE_SUMMARY_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mergeable/aggregate/coordinator.h"
+#include "mergeable/aggregate/snapshot.h"
+#include "mergeable/aggregate/storage.h"
+#include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/core/concepts.h"
+#include "mergeable/core/merge_driver.h"
+#include "mergeable/core/thread_pool.h"
+#include "mergeable/store/dyadic.h"
+#include "mergeable/store/epoch_meta.h"
+#include "mergeable/store/node_cache.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+// The summary's canonical encoding.
+template <WireSummary S>
+std::vector<uint8_t> EncodeSummary(const S& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+// Decodes bytes this process (or a healthy peer) encoded itself; a
+// failure is a codec bug, not bad input, so it aborts.
+template <WireSummary S>
+S DecodeSummaryOrDie(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  std::optional<S> summary = S::DecodeFrom(reader);
+  MERGEABLE_CHECK_MSG(summary.has_value() && reader.Exhausted(),
+                      "self-produced summary payload must decode");
+  return std::move(*summary);
+}
+
+// The encode-then-decode fixed point of `summary`. Codecs that do not
+// serialize incidental state (RNG positions) re-derive it from content,
+// so two summaries with equal canonical form evolve identically under
+// further merges — the property every deterministic-replay path here
+// relies on (see aggregate/coordinator.h, which maintains the same
+// form for crash recovery).
+template <WireSummary S>
+S CanonicalForm(const S& summary) {
+  return DecodeSummaryOrDie<S>(EncodeSummary(summary));
+}
+
+// The merge the store uses everywhere: absorb `from`, then re-canonize.
+// Folding with this function is associative *by construction* over
+// canonical payloads, which is what makes any dyadic regrouping of the
+// same epochs byte-stable.
+template <WireSummary S>
+void CanonicalMergeInto(S& into, const S& from) {
+  into.Merge(from);
+  into = CanonicalForm(into);
+}
+
+// Execution + serving knobs.
+struct StoreOptions {
+  // Storage file-name prefix; two stores can share one Storage backend
+  // under different prefixes.
+  std::string prefix = "store";
+  // Maximum entries in the merged-summary cache (tree nodes and range
+  // results share it).
+  size_t cache_capacity = 128;
+  // The summary family's native error parameter; range queries report
+  // bounds in terms of it (EpsilonReport).
+  double epsilon = 0.01;
+  // Threads for batch sealing and query-time node merging. 1 = fully
+  // sequential. Results are byte-identical for every value.
+  int num_threads = 1;
+};
+
+// What one range query cost (per-query mirror of the global counters).
+struct QueryStats {
+  uint64_t nodes_merged = 0;      // Covering nodes fetched (0 if warm).
+  uint64_t merges_performed = 0;  // Summary Merge calls for this query.
+  uint64_t node_cache_hits = 0;
+  uint64_t node_cache_misses = 0;
+  uint64_t bytes_read = 0;        // Storage bytes fetched.
+  bool range_cache_hit = false;   // The whole answer was memoized.
+};
+
+// Cumulative serving counters.
+struct StoreStats {
+  uint64_t epochs_sealed = 0;
+  uint64_t nodes_built = 0;    // Internal nodes materialized (and rebuilt).
+  uint64_t node_merges = 0;    // Merge calls for tree maintenance.
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+};
+
+template <WireSummary S>
+class SummaryStore {
+ public:
+  struct RangeOutcome {
+    // Canonical payload of the merged summary over the range.
+    MergedSummaryCache::Payload payload;
+    EpsilonReport eps;
+    QueryStats stats;
+  };
+
+  explicit SummaryStore(Storage* storage, StoreOptions options = {})
+      : storage_(storage), options_(std::move(options)),
+        cache_(options_.cache_capacity),
+        pool_(options_.num_threads >= 1 ? options_.num_threads : 1) {
+    MERGEABLE_CHECK_MSG(storage != nullptr, "SummaryStore needs storage");
+    MERGEABLE_CHECK_MSG(options_.num_threads >= 1,
+                        "StoreOptions::num_threads must be >= 1");
+    MERGEABLE_CHECK_MSG(options_.epsilon > 0.0,
+                        "StoreOptions::epsilon must be positive");
+  }
+
+  // Rebuilds the stream index from storage after a restart: for every
+  // stream under the prefix, the longest contiguous prefix of epochs
+  // whose records decode cleanly becomes the sealed range (a torn leaf
+  // ends it; torn *internal* nodes are rebuilt lazily from children).
+  // Returns the number of streams recovered.
+  size_t Open() {
+    streams_.clear();
+    std::map<uint64_t, std::map<uint64_t, std::string>> leaves;
+    for (const std::string& file : storage_->List()) {
+      uint64_t stream = 0;
+      uint32_t level = 0;
+      uint64_t index = 0;
+      if (!ParseNodeFileName(file, &stream, &level, &index)) continue;
+      if (level == 0) leaves[stream][index] = file;
+    }
+    for (const auto& [stream, files] : leaves) {
+      StreamState state;
+      for (uint64_t index = 0;; ++index) {
+        auto it = files.find(index);
+        if (it == files.end()) break;
+        std::optional<std::vector<uint8_t>> bytes =
+            storage_->Read(it->second);
+        if (!bytes.has_value()) break;
+        std::optional<EpochRecord> record = DecodeEpochRecord(*bytes);
+        if (!record.has_value()) break;  // Torn leaf ends the prefix.
+        std::optional<TaggedPayload> tagged =
+            DecodeTaggedPayload(record->payload);
+        if (!tagged.has_value() || tagged->tag != kTag) break;
+        if (index == 0) {
+          state.base_epoch = record->meta.epoch;
+        } else if (record->meta.epoch !=
+                   state.base_epoch + index) {
+          break;  // Epochs must stay contiguous.
+        }
+        state.metas.push_back(record->meta);
+      }
+      if (!state.metas.empty()) streams_[stream] = std::move(state);
+    }
+    return streams_.size();
+  }
+
+  // Seals one epoch of `stream`. Epochs of a stream must be sealed in
+  // order: the first seal fixes the base epoch, every later one must be
+  // exactly one past the previous (gaps would make range decomposition
+  // ambiguous). Returns false when a storage write failed to complete —
+  // the store object is then stale; recover with a fresh Open().
+  bool Seal(uint64_t stream, const S& summary, EpochMeta meta) {
+    StreamState& state = streams_[stream];
+    const uint64_t index = state.metas.size();
+    if (index == 0) {
+      state.base_epoch = meta.epoch;
+    } else {
+      MERGEABLE_CHECK_MSG(meta.epoch == state.base_epoch + index,
+                          "epochs must be sealed contiguously in order");
+    }
+    if (!WriteLeaf(stream, index, summary, meta)) return false;
+    state.metas.push_back(meta);
+    epochs_sealed_.fetch_add(1, std::memory_order_relaxed);
+    for (const DyadicNode& node : NodesCompletedBySeal(index)) {
+      if (!BuildAndWriteNode(stream, node)) return false;
+    }
+    return true;
+  }
+
+  // Seals a coordinator epoch result (the common producer). Returns
+  // false when the result carries no summary (crashed / zero coverage)
+  // or a storage write failed. `expected_total_n` as in AccountErrors.
+  bool SealResult(uint64_t stream, uint64_t epoch,
+                  const AggregationResult<S>& result,
+                  uint64_t expected_total_n = 0) {
+    if (!result.summary.has_value() || result.crashed) return false;
+    EpochMeta meta;
+    meta.epoch = epoch;
+    meta.n = SummaryMass(*result.summary);
+    meta.shards_total = result.shards_total;
+    meta.shards_received = result.shards_received;
+    const ErrorAccounting accounting = AccountErrors(
+        options_.epsilon, result.shards_total, result.shards_received,
+        meta.n, expected_total_n);
+    meta.lost_mass = accounting.lost_mass;
+    meta.lost_mass_estimated = accounting.lost_mass_estimated;
+    return Seal(stream, *result.summary, meta);
+  }
+
+  // Seals the newest valid snapshot checkpoint found on
+  // `checkpoint_storage` (the durable coordinator's output; snapshot.h).
+  // Returns false when no snapshot decodes, it carries no summary, or
+  // its payload is not a valid summary of this store's type.
+  bool SealFromCheckpoint(uint64_t stream, const Storage& checkpoint_storage,
+                          uint64_t expected_total_n = 0) {
+    const SnapshotScan scan = LoadLatestSnapshot(checkpoint_storage);
+    if (!scan.found || scan.snapshot.summary_payload.empty()) return false;
+    ByteReader reader(scan.snapshot.summary_payload);
+    std::optional<S> summary = S::DecodeFrom(reader);
+    if (!summary.has_value() || !reader.Exhausted()) return false;
+    EpochMeta meta;
+    meta.epoch = scan.snapshot.epoch;
+    meta.n = SummaryMass(*summary);
+    meta.shards_total = scan.snapshot.n_shards;
+    meta.shards_received = scan.snapshot.received_shards.size();
+    const ErrorAccounting accounting = AccountErrors(
+        options_.epsilon, meta.shards_total, meta.shards_received, meta.n,
+        expected_total_n);
+    meta.lost_mass = accounting.lost_mass;
+    meta.lost_mass_estimated = accounting.lost_mass_estimated;
+    return Seal(stream, *summary, meta);
+  }
+
+  // Seals many consecutive epochs at once, building each completed tree
+  // level's nodes in parallel on the store's pool (the merges of one
+  // level are independent; levels are barriers). Byte-identical to
+  // sealing the same epochs one by one — only the wall clock differs.
+  bool SealBatch(uint64_t stream,
+                 std::vector<std::pair<S, EpochMeta>> epochs) {
+    if (epochs.empty()) return true;
+    StreamState& state = streams_[stream];
+    const uint64_t first_index = state.metas.size();
+    for (size_t i = 0; i < epochs.size(); ++i) {
+      const uint64_t index = first_index + i;
+      EpochMeta& meta = epochs[i].second;
+      if (index == 0 && i == 0) {
+        state.base_epoch = meta.epoch;
+      } else {
+        MERGEABLE_CHECK_MSG(meta.epoch == state.base_epoch + index,
+                            "epochs must be sealed contiguously in order");
+      }
+      if (!WriteLeaf(stream, index, epochs[i].first, meta)) return false;
+      state.metas.push_back(meta);
+      epochs_sealed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Completed internal nodes, grouped by level. Building level by
+    // level keeps every node's children durable before it is computed.
+    std::map<uint32_t, std::vector<DyadicNode>> by_level;
+    for (size_t i = 0; i < epochs.size(); ++i) {
+      for (const DyadicNode& node : NodesCompletedBySeal(first_index + i)) {
+        by_level[node.level].push_back(node);
+      }
+    }
+    for (const auto& [level, nodes] : by_level) {
+      std::vector<std::vector<uint8_t>> payloads(nodes.size());
+      pool_.ParallelFor(nodes.size(), [&](size_t i) {
+        payloads[i] = ComputeNodePayload(stream, nodes[i], nullptr);
+      });
+      nodes_built_.fetch_add(nodes.size(), std::memory_order_relaxed);
+      node_merges_.fetch_add(nodes.size(), std::memory_order_relaxed);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!WriteNodePayload(stream, nodes[i], payloads[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  bool HasStream(uint64_t stream) const {
+    return streams_.count(stream) != 0;
+  }
+  uint64_t EpochCount(uint64_t stream) const {
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second.metas.size();
+  }
+  // First sealed epoch number; requires the stream to exist.
+  uint64_t BaseEpoch(uint64_t stream) const {
+    return StateFor(stream).base_epoch;
+  }
+  const std::vector<EpochMeta>& Metas(uint64_t stream) const {
+    return StateFor(stream).metas;
+  }
+
+  // Answers the range query [t1, t2] (absolute epoch numbers, both
+  // inclusive): the canonical payload of the merge of every sealed
+  // summary in the range, the epsilon report over the covered epochs,
+  // and what the answer cost. std::nullopt when the stream is unknown
+  // or the range is not fully sealed — a serving layer refuses bad
+  // queries instead of aborting on them.
+  std::optional<RangeOutcome> QueryRangePayload(uint64_t stream,
+                                                uint64_t t1, uint64_t t2) {
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) return std::nullopt;
+    const StreamState& state = it->second;
+    if (t1 > t2 || t1 < state.base_epoch ||
+        t2 >= state.base_epoch + state.metas.size()) {
+      return std::nullopt;
+    }
+    const uint64_t lo = t1 - state.base_epoch;
+    const uint64_t hi = t2 - state.base_epoch;
+
+    RangeOutcome outcome;
+    outcome.eps =
+        AccumulateEpsilon(state.metas, lo, hi, options_.epsilon);
+    QueryStats& stats = outcome.stats;
+    bool built = false;
+    const CacheKey range_key{stream, CacheEntryKind::kRangeResult, lo, hi};
+    outcome.payload = cache_.GetOrBuild(range_key, [&] {
+      built = true;
+      return MergeCover(stream, lo, hi, &stats);
+    });
+    stats.range_cache_hit = !built;
+    return outcome;
+  }
+
+  const StoreOptions& options() const { return options_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  StoreStats stats() const {
+    StoreStats snapshot;
+    snapshot.epochs_sealed = epochs_sealed_.load(std::memory_order_relaxed);
+    snapshot.nodes_built = nodes_built_.load(std::memory_order_relaxed);
+    snapshot.node_merges = node_merges_.load(std::memory_order_relaxed);
+    snapshot.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    snapshot.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+ private:
+  static constexpr SummaryTag kTag = SummaryTraits<S>::kTag;
+
+  struct StreamState {
+    uint64_t base_epoch = 0;
+    std::vector<EpochMeta> metas;
+  };
+
+  const StreamState& StateFor(uint64_t stream) const {
+    auto it = streams_.find(stream);
+    MERGEABLE_CHECK_MSG(it != streams_.end(), "unknown stream id");
+    return it->second;
+  }
+
+  // Mass of a summary for epsilon accounting; types without an n()
+  // notion (KMV, Bloom) contribute what the caller recorded instead.
+  static uint64_t SummaryMass(const S& summary) {
+    if constexpr (requires { summary.n(); }) {
+      return summary.n();
+    } else {
+      return 0;
+    }
+  }
+
+  std::string NodeFileName(uint64_t stream, const DyadicNode& node) const {
+    return options_.prefix + "/s" + std::to_string(stream) + "/n" +
+           std::to_string(node.level) + "." + std::to_string(node.index);
+  }
+
+  bool ParseNodeFileName(const std::string& file, uint64_t* stream,
+                         uint32_t* level, uint64_t* index) const {
+    const std::string lead = options_.prefix + "/s";
+    if (file.compare(0, lead.size(), lead) != 0) return false;
+    size_t pos = lead.size();
+    const size_t slash = file.find('/', pos);
+    if (slash == std::string::npos || file.size() <= slash + 1 ||
+        file[slash + 1] != 'n') {
+      return false;
+    }
+    const size_t dot = file.find('.', slash + 2);
+    if (dot == std::string::npos) return false;
+    try {
+      *stream = std::stoull(file.substr(pos, slash - pos));
+      *level = static_cast<uint32_t>(
+          std::stoul(file.substr(slash + 2, dot - slash - 2)));
+      *index = std::stoull(file.substr(dot + 1));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool WriteLeaf(uint64_t stream, uint64_t index, const S& summary,
+                 const EpochMeta& meta) {
+    const std::vector<uint8_t> tagged =
+        EncodeTaggedPayload(kTag, EncodeSummary(summary));
+    const std::vector<uint8_t> record = EncodeEpochRecord(meta, tagged);
+    bytes_written_.fetch_add(record.size(), std::memory_order_relaxed);
+    return storage_->Rewrite(NodeFileName(stream, DyadicNode{0, index}),
+                             record);
+  }
+
+  bool WriteNodePayload(uint64_t stream, const DyadicNode& node,
+                        const std::vector<uint8_t>& payload) {
+    const std::vector<uint8_t> tagged = EncodeTaggedPayload(kTag, payload);
+    bytes_written_.fetch_add(tagged.size(), std::memory_order_relaxed);
+    return storage_->Rewrite(NodeFileName(stream, node), tagged);
+  }
+
+  bool BuildAndWriteNode(uint64_t stream, const DyadicNode& node) {
+    const std::vector<uint8_t> payload =
+        ComputeNodePayload(stream, node, nullptr);
+    nodes_built_.fetch_add(1, std::memory_order_relaxed);
+    node_merges_.fetch_add(1, std::memory_order_relaxed);
+    return WriteNodePayload(stream, node, payload);
+  }
+
+  // The node's canonical payload, computed from its children: the
+  // defining equation node = canonical(merge(left, right)). Pure — no
+  // storage writes, no counter updates — so batch sealing can run many
+  // of these concurrently.
+  std::vector<uint8_t> ComputeNodePayload(uint64_t stream,
+                                          const DyadicNode& node,
+                                          QueryStats* query_stats) {
+    MERGEABLE_CHECK_MSG(node.level >= 1, "leaves are sealed, not computed");
+    const DyadicNode left{node.level - 1, node.index * 2};
+    const DyadicNode right{node.level - 1, node.index * 2 + 1};
+    S merged = DecodeSummaryOrDie<S>(*NodePayload(stream, left, query_stats));
+    const S sibling =
+        DecodeSummaryOrDie<S>(*NodePayload(stream, right, query_stats));
+    CanonicalMergeInto(merged, sibling);
+    return EncodeSummary<S>(merged);
+  }
+
+  // The node's canonical payload via the cache: resident bytes, else
+  // the storage file, else (for a missing or torn internal node) a
+  // deterministic rebuild from the children.
+  MergedSummaryCache::Payload NodePayload(uint64_t stream,
+                                          const DyadicNode& node,
+                                          QueryStats* query_stats) {
+    const CacheKey key{stream, CacheEntryKind::kTreeNode, node.level,
+                       node.index};
+    bool built = false;
+    MergedSummaryCache::Payload payload = cache_.GetOrBuild(key, [&] {
+      built = true;
+      return LoadOrRebuildNode(stream, node, query_stats);
+    });
+    if (query_stats != nullptr) {
+      if (built) {
+        ++query_stats->node_cache_misses;
+      } else {
+        ++query_stats->node_cache_hits;
+      }
+    }
+    return payload;
+  }
+
+  std::vector<uint8_t> LoadOrRebuildNode(uint64_t stream,
+                                         const DyadicNode& node,
+                                         QueryStats* query_stats) {
+    const std::optional<std::vector<uint8_t>> bytes =
+        storage_->Read(NodeFileName(stream, node));
+    if (bytes.has_value()) {
+      bytes_read_.fetch_add(bytes->size(), std::memory_order_relaxed);
+      if (query_stats != nullptr) query_stats->bytes_read += bytes->size();
+      if (node.level == 0) {
+        const std::optional<EpochRecord> record = DecodeEpochRecord(*bytes);
+        if (record.has_value()) {
+          const std::optional<TaggedPayload> tagged =
+              DecodeTaggedPayload(record->payload);
+          if (tagged.has_value() && tagged->tag == kTag) {
+            return std::move(tagged->payload);
+          }
+        }
+      } else {
+        std::optional<TaggedPayload> tagged = DecodeTaggedPayload(*bytes);
+        if (tagged.has_value() && tagged->tag == kTag) {
+          return std::move(tagged->payload);
+        }
+      }
+    }
+    // Missing or torn. A leaf cannot be reconstructed — Open() only
+    // admits epochs whose leaf records decode, so reaching this for a
+    // leaf means the storage regressed underneath us. An internal node
+    // is rebuilt from its children, byte-identically.
+    MERGEABLE_CHECK_MSG(node.level >= 1,
+                        "sealed leaf payload lost underneath the store");
+    std::vector<uint8_t> payload =
+        ComputeNodePayload(stream, node, query_stats);
+    nodes_built_.fetch_add(1, std::memory_order_relaxed);
+    node_merges_.fetch_add(1, std::memory_order_relaxed);
+    if (query_stats != nullptr) ++query_stats->merges_performed;
+    // Re-persist so the next restart finds it intact; a failed write
+    // only costs a future rebuild.
+    (void)WriteNodePayload(stream, node, payload);
+    return payload;
+  }
+
+  // Materializes the covering nodes of [lo, hi] and folds them into one
+  // canonical payload through the generic merge driver: a balanced
+  // canonical reduction, parallel across nodes when the store has
+  // threads, byte-identical for every thread count.
+  std::vector<uint8_t> MergeCover(uint64_t stream, uint64_t lo, uint64_t hi,
+                                  QueryStats* stats) {
+    const std::vector<DyadicNode> cover = DyadicCover(lo, hi);
+    stats->nodes_merged = cover.size();
+    std::vector<S> parts;
+    parts.reserve(cover.size());
+    for (const DyadicNode& node : cover) {
+      parts.push_back(
+          DecodeSummaryOrDie<S>(*NodePayload(stream, node, stats)));
+    }
+    if (parts.size() == 1) return EncodeSummary<S>(parts.front());
+    std::atomic<uint64_t> merges{0};
+    const auto merge_fn = [&merges](S& into, const S& from) {
+      CanonicalMergeInto(into, from);
+      merges.fetch_add(1, std::memory_order_relaxed);
+    };
+    S merged =
+        options_.num_threads > 1
+            ? ParallelMergeAllWith(std::move(parts), pool_, merge_fn)
+            : MergeAllWith(std::move(parts), MergeTopology::kBalancedTree,
+                           merge_fn);
+    stats->merges_performed += merges.load(std::memory_order_relaxed);
+    return EncodeSummary<S>(merged);
+  }
+
+  Storage* storage_;
+  StoreOptions options_;
+  MergedSummaryCache cache_;
+  ThreadPool pool_;
+  std::map<uint64_t, StreamState> streams_;
+
+  // Cumulative counters; atomic because queries (and their lazy node
+  // rebuilds) may run concurrently.
+  std::atomic<uint64_t> epochs_sealed_{0};
+  std::atomic<uint64_t> nodes_built_{0};
+  std::atomic<uint64_t> node_merges_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_STORE_SUMMARY_STORE_H_

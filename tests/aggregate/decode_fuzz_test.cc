@@ -1,10 +1,12 @@
 // Structure-aware decode fuzzing over every summary wire format.
 //
-// Each summary type gets >= 10k mutated inputs drawn from a small corpus
-// of real encodings (empty, lightly filled, heavily filled and merged
-// instances, so every structural variant is represented). The harness
-// (aggregate/fuzz.h) asserts each decode either rejects cleanly or
-// yields a self-consistent summary whose re-encoding is a byte-for-byte
+// The registry (aggregate/summary_registry.h) supplies, per codec, a
+// deterministic corpus of real encodings (empty, lightly filled,
+// heavily filled and merged instances, so every structural variant is
+// represented) and a type-erased fuzz entry point wrapping
+// FuzzDecode<T>. Each codec gets >= 10k mutated inputs; the harness
+// asserts each decode either rejects cleanly or yields a
+// self-consistent summary whose re-encoding is a byte-for-byte
 // round-trip fixed point. Labeled `fuzz`: run via `ctest -L fuzz`,
 // ideally configured with -DMERGEABLE_SANITIZE=ON.
 
@@ -14,184 +16,42 @@
 #include <gtest/gtest.h>
 
 #include "mergeable/aggregate/fuzz.h"
-#include "mergeable/approx/eps_approximation.h"
-#include "mergeable/approx/eps_kernel.h"
-#include "mergeable/frequency/misra_gries.h"
-#include "mergeable/frequency/space_saving.h"
-#include "mergeable/quantiles/gk.h"
-#include "mergeable/quantiles/mergeable_quantiles.h"
-#include "mergeable/quantiles/qdigest.h"
-#include "mergeable/quantiles/reservoir.h"
-#include "mergeable/sketch/ams.h"
-#include "mergeable/sketch/bloom.h"
-#include "mergeable/sketch/count_min.h"
-#include "mergeable/sketch/count_sketch.h"
-#include "mergeable/sketch/dyadic_count_min.h"
-#include "mergeable/sketch/kmv.h"
-#include "mergeable/stream/generators.h"
-#include "mergeable/util/bytes.h"
-#include "mergeable/util/random.h"
+#include "mergeable/aggregate/summary_registry.h"
 
 namespace mergeable {
 namespace {
 
 constexpr uint64_t kIterations = 10000;
 
-std::vector<uint64_t> FuzzStream(uint64_t seed, uint32_t n = 4000) {
-  StreamSpec spec;
-  spec.kind = StreamKind::kZipf;
-  spec.n = n;
-  spec.universe = 512;
-  return GenerateStream(spec, seed);
-}
-
-template <typename T>
-std::vector<uint8_t> Encode(const T& summary) {
-  ByteWriter writer;
-  summary.EncodeTo(writer);
-  return writer.TakeBytes();
-}
-
-// Runs the harness and asserts the contract: no crash (implicit), no
-// accepted-but-inconsistent decode, and the corpus itself decodes (the
-// mutator occasionally produces valid bytes, so accepted > 0 overall is
-// not guaranteed per type — rejected + accepted must cover everything).
-template <typename T>
-void RunFuzz(const std::vector<std::vector<uint8_t>>& corpus,
-             uint64_t seed) {
-  const FuzzStats stats = FuzzDecode<T>(corpus, kIterations, seed);
-  EXPECT_EQ(stats.iterations, kIterations);
-  EXPECT_EQ(stats.rejected + stats.accepted, kIterations);
-  EXPECT_EQ(stats.reencode_failures, 0u);
-  EXPECT_EQ(stats.index_rebuild_violations, 0u);
-}
-
-TEST(DecodeFuzzTest, MisraGries) {
-  MisraGries empty(16);
-  MisraGries small(16);
-  for (uint64_t item : FuzzStream(1, 200)) small.Update(item);
-  MisraGries merged(16);
-  for (uint64_t item : FuzzStream(2)) merged.Update(item);
-  merged.Merge(small);
-  RunFuzz<MisraGries>({Encode(empty), Encode(small), Encode(merged)}, 101);
-}
-
-TEST(DecodeFuzzTest, SpaceSaving) {
-  SpaceSaving empty(16);
-  SpaceSaving streamed(16);
-  for (uint64_t item : FuzzStream(3)) streamed.Update(item);
-  SpaceSaving merged(16);
-  for (uint64_t item : FuzzStream(4)) merged.Update(item);
-  merged.MergeCafaro(streamed);  // Populates under-slack and overs.
-  RunFuzz<SpaceSaving>({Encode(empty), Encode(streamed), Encode(merged)},
-                       102);
-}
-
-TEST(DecodeFuzzTest, GkSummary) {
-  GkSummary empty(0.05);
-  GkSummary filled(0.05);
-  Rng rng(5);
-  for (int i = 0; i < 3000; ++i) filled.Update(rng.UniformDouble());
-  RunFuzz<GkSummary>({Encode(empty), Encode(filled)}, 103);
-}
-
-TEST(DecodeFuzzTest, MergeableQuantiles) {
-  MergeableQuantiles empty(32, 6);
-  MergeableQuantiles filled(32, 7);
-  Rng rng(8);
-  for (int i = 0; i < 5000; ++i) filled.Update(rng.UniformDouble());
-  MergeableQuantiles merged(32, 9);
-  for (int i = 0; i < 2000; ++i) merged.Update(rng.UniformDouble());
-  merged.Merge(filled);
-  RunFuzz<MergeableQuantiles>(
-      {Encode(empty), Encode(filled), Encode(merged)}, 104);
-}
-
-TEST(DecodeFuzzTest, QDigest) {
-  QDigest empty(10, 32);
-  QDigest filled(10, 32);
-  Rng rng(10);
-  for (int i = 0; i < 4000; ++i) {
-    filled.Update(rng.UniformInt(uint64_t{1} << 10));
+// Runs the harness for every registered codec and asserts the contract:
+// no crash (implicit), no accepted-but-inconsistent decode, and every
+// iteration accounted for (the mutator occasionally produces valid
+// bytes, so accepted > 0 is not guaranteed per type — rejected +
+// accepted must cover everything).
+TEST(DecodeFuzzTest, EveryRegisteredCodecSurvivesMutatedInputs) {
+  uint64_t seed = 101;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    SCOPED_TRACE(info.name);
+    const FuzzStats stats = info.fuzz(info.corpus(seed), kIterations, seed);
+    EXPECT_EQ(stats.iterations, kIterations);
+    EXPECT_EQ(stats.rejected + stats.accepted, kIterations);
+    EXPECT_EQ(stats.reencode_failures, 0u);
+    EXPECT_EQ(stats.index_rebuild_violations, 0u);
+    ++seed;
   }
-  RunFuzz<QDigest>({Encode(empty), Encode(filled)}, 105);
 }
 
-TEST(DecodeFuzzTest, Reservoir) {
-  ReservoirSample empty(32, 11);
-  ReservoirSample partial(32, 12);
-  for (int i = 0; i < 10; ++i) partial.Update(i);
-  ReservoirSample full(32, 13);
-  for (int i = 0; i < 5000; ++i) full.Update(i * 0.25);
-  RunFuzz<ReservoirSample>(
-      {Encode(empty), Encode(partial), Encode(full)}, 106);
-}
-
-TEST(DecodeFuzzTest, CountMin) {
-  CountMinSketch empty(4, 64, 14);
-  CountMinSketch filled(4, 64, 14);
-  for (uint64_t item : FuzzStream(15)) filled.Update(item);
-  RunFuzz<CountMinSketch>({Encode(empty), Encode(filled)}, 107);
-}
-
-TEST(DecodeFuzzTest, CountSketch) {
-  CountSketch empty(4, 64, 16);
-  CountSketch filled(4, 64, 16);
-  for (uint64_t item : FuzzStream(17)) filled.Update(item);
-  RunFuzz<CountSketch>({Encode(empty), Encode(filled)}, 108);
-}
-
-TEST(DecodeFuzzTest, Ams) {
-  AmsSketch empty(5, 32, 18);
-  AmsSketch filled(5, 32, 18);
-  for (uint64_t item : FuzzStream(19)) filled.Update(item);
-  RunFuzz<AmsSketch>({Encode(empty), Encode(filled)}, 109);
-}
-
-TEST(DecodeFuzzTest, Bloom) {
-  BloomFilter empty(256, 3, 20);
-  BloomFilter filled(256, 3, 20);
-  for (uint64_t item = 0; item < 200; ++item) filled.Add(item);
-  RunFuzz<BloomFilter>({Encode(empty), Encode(filled)}, 110);
-}
-
-TEST(DecodeFuzzTest, Kmv) {
-  KmvSketch empty(64, 21);
-  KmvSketch partial(64, 22);
-  for (uint64_t item = 0; item < 20; ++item) partial.Add(item);
-  KmvSketch full(64, 23);
-  for (uint64_t item = 0; item < 5000; ++item) full.Add(item);
-  RunFuzz<KmvSketch>({Encode(empty), Encode(partial), Encode(full)}, 111);
-}
-
-TEST(DecodeFuzzTest, DyadicCountMin) {
-  DyadicCountMin empty(10, 3, 32, 24);
-  DyadicCountMin filled(10, 3, 32, 24);
-  Rng rng(25);
-  for (int i = 0; i < 3000; ++i) {
-    filled.Update(rng.UniformInt(uint64_t{1} << 10));
+// The aggregate entry point used by CI smoke runs: same harness, one
+// call, stats reported per codec name.
+TEST(DecodeFuzzTest, FuzzAllRegisteredCodecsCoversTheRegistry) {
+  const std::vector<NamedFuzzStats> results =
+      FuzzAllRegisteredCodecs(/*iterations_per_codec=*/500, /*seed=*/77);
+  ASSERT_EQ(results.size(), SummaryRegistry().size());
+  for (const NamedFuzzStats& result : results) {
+    EXPECT_EQ(result.stats.iterations, 500u) << result.name;
+    EXPECT_EQ(result.stats.reencode_failures, 0u) << result.name;
+    EXPECT_EQ(result.stats.index_rebuild_violations, 0u) << result.name;
   }
-  RunFuzz<DyadicCountMin>({Encode(empty), Encode(filled)}, 112);
-}
-
-TEST(DecodeFuzzTest, EpsApproximation) {
-  EpsApproximation empty(32, 26, HalvingPolicy::kMorton);
-  EpsApproximation filled(32, 27, HalvingPolicy::kMorton);
-  Rng rng(28);
-  for (int i = 0; i < 4000; ++i) {
-    filled.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
-  }
-  RunFuzz<EpsApproximation>({Encode(empty), Encode(filled)}, 113);
-}
-
-TEST(DecodeFuzzTest, EpsKernel) {
-  EpsKernel empty(16);
-  EpsKernel filled(16);
-  Rng rng(29);
-  for (int i = 0; i < 2000; ++i) {
-    filled.Update(Point2{rng.UniformDouble(), rng.UniformDouble()});
-  }
-  RunFuzz<EpsKernel>({Encode(empty), Encode(filled)}, 114);
 }
 
 // The mutation engine itself: deterministic for a fixed seed, and the

@@ -1,166 +1,53 @@
-// Table-driven corrupt-input rejection across every summary wire format.
+// Registry-driven corrupt-input rejection across every summary wire
+// format.
 //
-// One table row per EncodeTo/DecodeFrom pair; every row is subjected to
-// the same battery: all truncations must be rejected (every format
-// either demands exhaustion or an exact payload size), every single-bit
-// flip must decode without crashing (acceptance is allowed only for
-// don't-care bits), and the universal must-reject cases (empty input,
-// smashed magic, trailing garbage) hold. Labeled `fuzz` so it runs under
-// sanitizers via `ctest -L fuzz`, where "without leaking" is enforced.
+// The summary codec registry (aggregate/summary_registry.h) supplies
+// the probe, the corpus and the capability flags for all 14 formats;
+// every format is subjected to the same battery: all truncations must
+// be rejected (every format either demands exhaustion or an exact
+// payload size), every single-bit flip must decode without crashing
+// (acceptance is allowed only for don't-care bits), and the universal
+// must-reject cases (empty input, smashed magic, trailing garbage)
+// hold. Labeled `fuzz` so it runs under sanitizers via `ctest -L fuzz`,
+// where "without leaking" is enforced.
 
 #include <cstdint>
-#include <functional>
-#include <optional>
-#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "mergeable/approx/eps_approximation.h"
-#include "mergeable/approx/eps_kernel.h"
-#include "mergeable/frequency/misra_gries.h"
-#include "mergeable/frequency/space_saving.h"
-#include "mergeable/quantiles/gk.h"
-#include "mergeable/quantiles/mergeable_quantiles.h"
-#include "mergeable/quantiles/qdigest.h"
-#include "mergeable/quantiles/reservoir.h"
-#include "mergeable/sketch/ams.h"
-#include "mergeable/sketch/bloom.h"
-#include "mergeable/sketch/count_min.h"
-#include "mergeable/sketch/count_sketch.h"
-#include "mergeable/sketch/dyadic_count_min.h"
-#include "mergeable/sketch/kmv.h"
-#include "mergeable/stream/generators.h"
-#include "mergeable/util/bytes.h"
-#include "mergeable/util/random.h"
+#include "mergeable/aggregate/summary_registry.h"
 
 namespace mergeable {
 namespace {
 
-struct Format {
-  std::string name;
-  std::vector<uint8_t> bytes;
-  // Returns whether DecodeFrom accepted (used only for no-crash sweeps
-  // and must-reject assertions).
-  std::function<bool(const std::vector<uint8_t>&)> decodes;
-  // Count-Min deliberately tolerates trailing bytes (it is embedded in
-  // composite formats); every other format must reject them.
-  bool rejects_trailing = true;
-};
+constexpr uint64_t kCorpusSeed = 1;
 
-template <typename T>
-Format MakeFormat(const std::string& name, const T& summary,
-                  bool rejects_trailing = true) {
-  Format format;
-  format.name = name;
-  ByteWriter writer;
-  summary.EncodeTo(writer);
-  format.bytes = writer.TakeBytes();
-  format.decodes = [](const std::vector<uint8_t>& bytes) {
-    ByteReader reader(bytes);
-    return T::DecodeFrom(reader).has_value();
-  };
-  format.rejects_trailing = rejects_trailing;
-  return format;
-}
-
-std::vector<uint64_t> TableStream(uint64_t seed) {
-  StreamSpec spec;
-  spec.kind = StreamKind::kZipf;
-  spec.n = 3000;
-  spec.universe = 512;
-  return GenerateStream(spec, seed);
-}
-
-std::vector<Format> AllFormats() {
-  std::vector<Format> formats;
-
-  MisraGries mg(24);
-  for (uint64_t item : TableStream(1)) mg.Update(item);
-  formats.push_back(MakeFormat("MisraGries", mg));
-
-  SpaceSaving ss(24);
-  for (uint64_t item : TableStream(2)) ss.Update(item);
-  SpaceSaving ss_other(24);
-  for (uint64_t item : TableStream(3)) ss_other.Update(item);
-  ss.MergeCafaro(ss_other);
-  formats.push_back(MakeFormat("SpaceSaving", ss));
-
-  GkSummary gk(0.05);
-  Rng gk_rng(4);
-  for (int i = 0; i < 2000; ++i) gk.Update(gk_rng.UniformDouble());
-  formats.push_back(MakeFormat("GkSummary", gk));
-
-  MergeableQuantiles mq(32, 5);
-  Rng mq_rng(6);
-  for (int i = 0; i < 4000; ++i) mq.Update(mq_rng.UniformDouble());
-  formats.push_back(MakeFormat("MergeableQuantiles", mq));
-
-  QDigest qd(10, 32);
-  Rng qd_rng(7);
-  for (int i = 0; i < 3000; ++i) qd.Update(qd_rng.UniformInt(1u << 10));
-  formats.push_back(MakeFormat("QDigest", qd));
-
-  ReservoirSample reservoir(32, 8);
-  for (int i = 0; i < 2000; ++i) reservoir.Update(i * 0.5);
-  formats.push_back(MakeFormat("Reservoir", reservoir));
-
-  CountMinSketch cm(4, 64, 9);
-  for (uint64_t item : TableStream(10)) cm.Update(item);
-  formats.push_back(MakeFormat("CountMin", cm, /*rejects_trailing=*/false));
-
-  CountSketch cs(4, 64, 11);
-  for (uint64_t item : TableStream(12)) cs.Update(item);
-  formats.push_back(MakeFormat("CountSketch", cs));
-
-  AmsSketch ams(5, 32, 13);
-  for (uint64_t item : TableStream(14)) ams.Update(item);
-  formats.push_back(MakeFormat("Ams", ams));
-
-  BloomFilter bloom(512, 3, 15);
-  for (uint64_t item = 0; item < 300; ++item) bloom.Add(item);
-  formats.push_back(MakeFormat("Bloom", bloom));
-
-  KmvSketch kmv(64, 16);
-  for (uint64_t item = 0; item < 4000; ++item) kmv.Add(item);
-  formats.push_back(MakeFormat("Kmv", kmv));
-
-  DyadicCountMin dyadic(10, 3, 32, 17);
-  Rng dy_rng(18);
-  for (int i = 0; i < 2000; ++i) dyadic.Update(dy_rng.UniformInt(1u << 10));
-  formats.push_back(MakeFormat("DyadicCountMin", dyadic));
-
-  EpsApproximation approx(32, 19, HalvingPolicy::kMorton);
-  Rng ap_rng(20);
-  for (int i = 0; i < 3000; ++i) {
-    approx.Update(Point2{ap_rng.UniformDouble(), ap_rng.UniformDouble()});
-  }
-  formats.push_back(MakeFormat("EpsApproximation", approx));
-
-  EpsKernel kernel(16);
-  Rng k_rng(21);
-  for (int i = 0; i < 1000; ++i) {
-    kernel.Update(Point2{k_rng.UniformDouble(), k_rng.UniformDouble()});
-  }
-  formats.push_back(MakeFormat("EpsKernel", kernel));
-
-  return formats;
+// The heaviest corpus entry — the filled/merged instance every factory
+// places last — used for the byte-level sweeps, matching the old
+// hand-rolled table that corrupted one well-populated encoding per
+// format.
+std::vector<uint8_t> FilledEncoding(const SummaryCodecInfo& info) {
+  const auto corpus = info.corpus(kCorpusSeed);
+  return corpus.back();
 }
 
 TEST(CorruptInputTest, PristineBytesDecode) {
-  for (const Format& format : AllFormats()) {
-    EXPECT_TRUE(format.decodes(format.bytes)) << format.name;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    for (const std::vector<uint8_t>& payload : info.corpus(kCorpusSeed)) {
+      EXPECT_TRUE(info.probe(payload)) << info.name;
+    }
   }
 }
 
 TEST(CorruptInputTest, EveryTruncationIsRejected) {
-  for (const Format& format : AllFormats()) {
-    for (size_t cut = 0; cut < format.bytes.size(); ++cut) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const std::vector<uint8_t> bytes = FilledEncoding(info);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
       const std::vector<uint8_t> truncated(
-          format.bytes.begin(),
-          format.bytes.begin() + static_cast<long>(cut));
-      EXPECT_FALSE(format.decodes(truncated))
-          << format.name << " accepted truncation at " << cut;
+          bytes.begin(), bytes.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(info.probe(truncated))
+          << info.name << " accepted truncation at " << cut;
     }
   }
 }
@@ -168,35 +55,38 @@ TEST(CorruptInputTest, EveryTruncationIsRejected) {
 TEST(CorruptInputTest, EveryBitFlipDecodesWithoutCrashing) {
   // Acceptance is allowed (don't-care bits exist); UB, aborts and leaks
   // are not — this sweep runs under ASan/UBSan in the fuzz suite.
-  for (const Format& format : AllFormats()) {
-    for (size_t bit = 0; bit < format.bytes.size() * 8; ++bit) {
-      std::vector<uint8_t> flipped = format.bytes;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const std::vector<uint8_t> bytes = FilledEncoding(info);
+    for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+      std::vector<uint8_t> flipped = bytes;
       flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
-      (void)format.decodes(flipped);
+      (void)info.probe(flipped);
     }
   }
 }
 
 TEST(CorruptInputTest, EmptyInputIsRejected) {
-  for (const Format& format : AllFormats()) {
-    EXPECT_FALSE(format.decodes({})) << format.name;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    EXPECT_FALSE(info.probe({})) << info.name;
   }
 }
 
 TEST(CorruptInputTest, SmashedMagicIsRejected) {
-  for (const Format& format : AllFormats()) {
-    std::vector<uint8_t> wrong_magic = format.bytes;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    std::vector<uint8_t> wrong_magic = FilledEncoding(info);
     wrong_magic[0] ^= 0xff;
-    EXPECT_FALSE(format.decodes(wrong_magic)) << format.name;
+    EXPECT_FALSE(info.probe(wrong_magic)) << info.name;
   }
 }
 
 TEST(CorruptInputTest, TrailingGarbageIsRejected) {
-  for (const Format& format : AllFormats()) {
-    if (!format.rejects_trailing) continue;
-    std::vector<uint8_t> trailing = format.bytes;
+  // Count-Min deliberately tolerates trailing bytes (it is embedded in
+  // composite formats); the registry flag excludes it from this case.
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    if (!info.rejects_trailing) continue;
+    std::vector<uint8_t> trailing = FilledEncoding(info);
     trailing.push_back(0);
-    EXPECT_FALSE(format.decodes(trailing)) << format.name;
+    EXPECT_FALSE(info.probe(trailing)) << info.name;
   }
 }
 
@@ -204,14 +94,15 @@ TEST(CorruptInputTest, HugeLengthFieldsDoNotAllocate) {
   // Saturate every 32-bit aligned field with 0xffffffff, one at a time.
   // Decoders must reject (or cleanly accept) without attempting the
   // multi-gigabyte allocations the smashed counts used to imply.
-  for (const Format& format : AllFormats()) {
-    for (size_t at = 0; at + 4 <= format.bytes.size(); at += 4) {
-      std::vector<uint8_t> smashed = format.bytes;
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const std::vector<uint8_t> bytes = FilledEncoding(info);
+    for (size_t at = 0; at + 4 <= bytes.size(); at += 4) {
+      std::vector<uint8_t> smashed = bytes;
       smashed[at] = 0xff;
       smashed[at + 1] = 0xff;
       smashed[at + 2] = 0xff;
       smashed[at + 3] = 0xff;
-      (void)format.decodes(smashed);
+      (void)info.probe(smashed);
     }
   }
 }

@@ -1,0 +1,157 @@
+// Dyadic decomposition math: covers are exact partitions of the range,
+// never wider than 2 * log n, and the carry chain completes each node
+// exactly once.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/store/dyadic.h"
+
+namespace mergeable {
+namespace {
+
+TEST(DyadicNodeTest, SpansMatchLevelAndIndex) {
+  const DyadicNode leaf{0, 7};
+  EXPECT_EQ(leaf.first(), 7u);
+  EXPECT_EQ(leaf.last(), 7u);
+  EXPECT_EQ(leaf.width(), 1u);
+
+  const DyadicNode node{3, 2};
+  EXPECT_EQ(node.width(), 8u);
+  EXPECT_EQ(node.first(), 16u);
+  EXPECT_EQ(node.last(), 23u);
+}
+
+TEST(DyadicCoverTest, SingleEpochIsOneLeaf) {
+  const std::vector<DyadicNode> cover = DyadicCover(5, 5);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{0, 5}));
+}
+
+TEST(DyadicCoverTest, AlignedPowerOfTwoIsOneNode) {
+  const std::vector<DyadicNode> cover = DyadicCover(0, 1023);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicNode{10, 0}));
+}
+
+// Every range [lo, hi] decomposes into disjoint nodes that cover exactly
+// the range, in ascending epoch order.
+TEST(DyadicCoverTest, ExactPartitionForAllSmallRanges) {
+  constexpr uint64_t kEpochs = 128;
+  for (uint64_t lo = 0; lo < kEpochs; ++lo) {
+    for (uint64_t hi = lo; hi < kEpochs; ++hi) {
+      const std::vector<DyadicNode> cover = DyadicCover(lo, hi);
+      uint64_t next = lo;
+      for (const DyadicNode& node : cover) {
+        ASSERT_EQ(node.first(), next) << "gap or overlap at [" << lo << ","
+                                      << hi << "]";
+        next = node.last() + 1;
+      }
+      ASSERT_EQ(next, hi + 1) << "cover stops short of hi";
+    }
+  }
+}
+
+// The acceptance bound: any range over 1024 sealed epochs is covered by
+// at most 20 nodes (2 * log2(1024)).
+TEST(DyadicCoverTest, CoverOf1024EpochRangeIsAtMost20Nodes) {
+  constexpr uint64_t kEpochs = 1024;
+  size_t worst = 0;
+  for (uint64_t lo = 0; lo < kEpochs; ++lo) {
+    const std::vector<DyadicNode> cover = DyadicCover(lo, kEpochs - 1);
+    worst = std::max(worst, cover.size());
+  }
+  // Sweep the other boundary too.
+  for (uint64_t hi = 0; hi < kEpochs; ++hi) {
+    const std::vector<DyadicNode> cover = DyadicCover(0, hi);
+    worst = std::max(worst, cover.size());
+  }
+  // And the classically worst range shape: [1, 2^k - 2].
+  worst = std::max(worst, DyadicCover(1, kEpochs - 2).size());
+  EXPECT_LE(worst, 20u);
+  EXPECT_GE(worst, 10u);  // The bound is tight enough to be meaningful.
+}
+
+// Cover nodes are usable by the store only when they are complete: every
+// node must lie within the sealed prefix [0, hi].
+TEST(DyadicCoverTest, NodesNeverReachPastTheRange) {
+  for (uint64_t lo = 0; lo < 200; ++lo) {
+    for (uint64_t hi = lo; hi < 200; ++hi) {
+      for (const DyadicNode& node : DyadicCover(lo, hi)) {
+        ASSERT_GE(node.first(), lo);
+        ASSERT_LE(node.last(), hi);
+      }
+    }
+  }
+}
+
+TEST(DyadicCoverTest, HandlesRangesNearUint64Max) {
+  const uint64_t hi = ~uint64_t{0} - 1;
+  const std::vector<DyadicNode> cover = DyadicCover(hi - 5, hi);
+  uint64_t next = hi - 5;
+  for (const DyadicNode& node : cover) {
+    ASSERT_EQ(node.first(), next);
+    next = node.last() + 1;
+  }
+  EXPECT_EQ(next, hi + 1);
+}
+
+// Sealing epoch e completes exactly the internal nodes whose last epoch
+// is e — the binary carry chain of e + 1.
+TEST(NodesCompletedBySealTest, CarryChainMatchesNodeSpans) {
+  for (uint64_t epoch = 0; epoch < 512; ++epoch) {
+    const std::vector<DyadicNode> completed = NodesCompletedBySeal(epoch);
+    uint32_t expected_level = 1;
+    for (const DyadicNode& node : completed) {
+      EXPECT_EQ(node.level, expected_level++);
+      EXPECT_EQ(node.last(), epoch);
+    }
+  }
+}
+
+TEST(NodesCompletedBySealTest, ExamplesAreExact) {
+  EXPECT_TRUE(NodesCompletedBySeal(0).empty());
+  EXPECT_EQ(NodesCompletedBySeal(1),
+            (std::vector<DyadicNode>{{1, 0}}));
+  EXPECT_TRUE(NodesCompletedBySeal(2).empty());
+  EXPECT_EQ(NodesCompletedBySeal(3),
+            (std::vector<DyadicNode>{{1, 1}, {2, 0}}));
+  EXPECT_EQ(NodesCompletedBySeal(7),
+            (std::vector<DyadicNode>{{1, 3}, {2, 1}, {3, 0}}));
+}
+
+// Every internal node is completed exactly once over a seal sequence,
+// and the completed set at any prefix matches TotalNodes.
+TEST(NodesCompletedBySealTest, EachNodeCompletesOnceAndCountsMatch) {
+  std::set<std::pair<uint32_t, uint64_t>> seen;
+  uint64_t internal_nodes = 0;
+  for (uint64_t epoch = 0; epoch < 300; ++epoch) {
+    for (const DyadicNode& node : NodesCompletedBySeal(epoch)) {
+      const bool inserted = seen.insert({node.level, node.index}).second;
+      ASSERT_TRUE(inserted) << "node completed twice";
+      ++internal_nodes;
+    }
+    const uint64_t sealed = epoch + 1;
+    // TotalNodes counts leaves + internal nodes.
+    ASSERT_EQ(TotalNodes(sealed), sealed + internal_nodes);
+  }
+}
+
+// Amortized O(1) node builds per seal: n epochs create fewer than n
+// internal nodes in total.
+TEST(NodesCompletedBySealTest, AmortizedConstantBuildsPerSeal) {
+  uint64_t builds = 0;
+  constexpr uint64_t kEpochs = 4096;
+  for (uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    builds += NodesCompletedBySeal(epoch).size();
+  }
+  EXPECT_LT(builds, kEpochs);
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,175 @@
+// The summary codec registry: one entry per wire format, correct
+// capability flags, working type-erased probes and merges, and the
+// tagged-payload envelope built on top of it.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/quantiles/gk.h"
+
+namespace mergeable {
+namespace {
+
+TEST(SummaryRegistryTest, CoversAllFourteenCodecsInTagOrder) {
+  const std::vector<SummaryCodecInfo>& registry = SummaryRegistry();
+  ASSERT_EQ(registry.size(), 14u);
+  std::set<uint32_t> tags;
+  uint32_t previous = 0;
+  for (const SummaryCodecInfo& info : registry) {
+    const uint32_t raw = static_cast<uint32_t>(info.tag);
+    EXPECT_GT(raw, previous) << "registry must be in ascending tag order";
+    previous = raw;
+    tags.insert(raw);
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_NE(info.probe, nullptr);
+    EXPECT_NE(info.corpus, nullptr);
+    EXPECT_NE(info.merge_payloads, nullptr);
+    EXPECT_NE(info.fuzz, nullptr);
+  }
+  EXPECT_EQ(tags.size(), 14u);
+}
+
+TEST(SummaryRegistryTest, LookupByTagAndNameAgree) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const SummaryCodecInfo* by_tag = FindSummaryCodec(info.tag);
+    const SummaryCodecInfo* by_name = FindSummaryCodec(info.name);
+    ASSERT_NE(by_tag, nullptr);
+    EXPECT_EQ(by_tag, by_name);
+  }
+  EXPECT_EQ(FindSummaryCodec(static_cast<SummaryTag>(999)), nullptr);
+  EXPECT_EQ(FindSummaryCodec("NoSuchSummary"), nullptr);
+  EXPECT_TRUE(IsRegisteredSummaryTag(1));
+  EXPECT_TRUE(IsRegisteredSummaryTag(14));
+  EXPECT_FALSE(IsRegisteredSummaryTag(0));
+  EXPECT_FALSE(IsRegisteredSummaryTag(15));
+}
+
+TEST(SummaryRegistryTest, TraitsMatchRegistryEntries) {
+  EXPECT_EQ(SummaryTraits<SpaceSaving>::kTag, SummaryTag::kSpaceSaving);
+  const SummaryCodecInfo* info =
+      FindSummaryCodec(SummaryTraits<SpaceSaving>::kTag);
+  ASSERT_NE(info, nullptr);
+  EXPECT_STREQ(info->name, SummaryTraits<SpaceSaving>::kName);
+  EXPECT_EQ(SummaryTraits<GkSummary>::kTag, SummaryTag::kGkSummary);
+}
+
+TEST(SummaryRegistryTest, CorporaAreDeterministicNonEmptyAndProbeClean) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const auto corpus_a = info.corpus(42);
+    const auto corpus_b = info.corpus(42);
+    EXPECT_EQ(corpus_a, corpus_b) << info.name << " corpus not deterministic";
+    ASSERT_GE(corpus_a.size(), 2u) << info.name;
+    for (const std::vector<uint8_t>& payload : corpus_a) {
+      EXPECT_TRUE(info.probe(payload))
+          << info.name << " rejects its own corpus";
+    }
+  }
+}
+
+TEST(SummaryRegistryTest, ProbeRejectsGarbage) {
+  const std::vector<uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    EXPECT_FALSE(info.probe(garbage)) << info.name;
+  }
+}
+
+TEST(SummaryRegistryTest, MergePayloadsWorksExactlyForMergeableCodecs) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const auto corpus = info.corpus(7);
+    ASSERT_GE(corpus.size(), 2u);
+    const auto merged = info.merge_payloads(corpus[0], corpus[1]);
+    if (info.mergeable) {
+      ASSERT_TRUE(merged.has_value()) << info.name;
+      EXPECT_TRUE(info.probe(*merged)) << info.name;
+      // The merge result is canonical: merging with itself decodes too.
+      const auto merged_twice = info.merge_payloads(*merged, *merged);
+      ASSERT_TRUE(merged_twice.has_value()) << info.name;
+    } else {
+      EXPECT_FALSE(merged.has_value())
+          << info.name << " is one-way; MergePayloads must refuse";
+    }
+  }
+  // GK is the library's only one-way summary.
+  const SummaryCodecInfo* gk = FindSummaryCodec(SummaryTag::kGkSummary);
+  ASSERT_NE(gk, nullptr);
+  EXPECT_FALSE(gk->mergeable);
+}
+
+TEST(SummaryRegistryTest, OnlyCountMinToleratesTrailingBytes) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    EXPECT_EQ(info.rejects_trailing, info.tag != SummaryTag::kCountMin)
+        << info.name;
+  }
+}
+
+TEST(SummaryRegistryTest, MergePayloadsRejectsForeignBytes) {
+  const SummaryCodecInfo* space_saving =
+      FindSummaryCodec(SummaryTag::kSpaceSaving);
+  ASSERT_NE(space_saving, nullptr);
+  const auto corpus = space_saving->corpus(3);
+  const std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(space_saving->merge_payloads(corpus[0], garbage).has_value());
+  EXPECT_FALSE(space_saving->merge_payloads(garbage, corpus[0]).has_value());
+}
+
+// ---- The tagged-payload envelope (wire.h) over the registry ----
+
+TEST(TaggedPayloadTest, RoundTripsEveryRegisteredTag) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const auto corpus = info.corpus(11);
+    const std::vector<uint8_t> envelope =
+        EncodeTaggedPayload(info.tag, corpus[0]);
+    const auto decoded = DecodeTaggedPayload(envelope);
+    ASSERT_TRUE(decoded.has_value()) << info.name;
+    EXPECT_EQ(decoded->tag, info.tag);
+    EXPECT_EQ(decoded->payload, corpus[0]);
+  }
+}
+
+TEST(TaggedPayloadTest, RejectsCorruptEnvelopes) {
+  const SummaryCodecInfo* info = FindSummaryCodec(SummaryTag::kSpaceSaving);
+  ASSERT_NE(info, nullptr);
+  const std::vector<uint8_t> envelope =
+      EncodeTaggedPayload(info->tag, info->corpus(1)[0]);
+
+  // Truncations at every length must be rejected.
+  for (size_t len = 0; len < envelope.size(); ++len) {
+    const std::vector<uint8_t> truncated(envelope.begin(),
+                                         envelope.begin() + len);
+    EXPECT_FALSE(DecodeTaggedPayload(truncated).has_value()) << len;
+  }
+  // Trailing garbage.
+  std::vector<uint8_t> extended = envelope;
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeTaggedPayload(extended).has_value());
+  // A flipped payload byte breaks the checksum.
+  std::vector<uint8_t> flipped = envelope;
+  flipped[10] ^= 0xff;
+  EXPECT_FALSE(DecodeTaggedPayload(flipped).has_value());
+  // An unregistered tag is refused even with a fixed-up frame.
+  std::vector<uint8_t> bad_tag = envelope;
+  bad_tag[4] = 200;  // Tag is the little-endian u32 after the magic.
+  EXPECT_FALSE(DecodeTaggedPayload(bad_tag).has_value());
+}
+
+TEST(RegistryFuzzTest, FuzzAllRegisteredCodecsSmoke) {
+  const std::vector<NamedFuzzStats> results =
+      FuzzAllRegisteredCodecs(/*iterations_per_codec=*/300, /*seed=*/1);
+  ASSERT_EQ(results.size(), SummaryRegistry().size());
+  for (const NamedFuzzStats& result : results) {
+    EXPECT_EQ(result.stats.iterations, 300u) << result.name;
+    EXPECT_EQ(result.stats.reencode_failures, 0u) << result.name;
+    EXPECT_EQ(result.stats.index_rebuild_violations, 0u) << result.name;
+    EXPECT_EQ(result.stats.accepted + result.stats.rejected, 300u)
+        << result.name;
+  }
+}
+
+}  // namespace
+}  // namespace mergeable
