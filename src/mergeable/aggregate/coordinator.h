@@ -1,8 +1,10 @@
 // The fault-tolerant aggregation coordinator.
 //
 // Workers summarize their shards and ship framed reports (wire.h) over a
-// transport (fault.h). The coordinator collects exactly one report per
-// shard for one epoch, surviving the faults the transport injects:
+// transport (transport.h) — the seeded in-process fault injector
+// (fault.h) or the real socket path (server/). The coordinator collects
+// exactly one report per shard for one epoch, surviving the faults the
+// transport injects:
 //
 //   * malformed frames (truncated / bit-flipped) are rejected by the
 //     frame checksum and the summary decoders, then retried;
@@ -49,6 +51,7 @@
 
 #include "mergeable/aggregate/fault.h"
 #include "mergeable/aggregate/snapshot.h"
+#include "mergeable/aggregate/transport.h"
 #include "mergeable/aggregate/storage.h"
 #include "mergeable/aggregate/wal.h"
 #include "mergeable/aggregate/wire.h"
@@ -237,7 +240,7 @@ class Coordinator {
   // Fetches the reports of shards [0, n_shards) from `transport`, with
   // retries, dedup and degraded-coverage accounting. In-memory only: a
   // coordinator crash loses the epoch (use RunDurable to survive that).
-  AggregationResult<S> Run(SimulatedTransport& transport, size_t n_shards) {
+  AggregationResult<S> Run(Transport& transport, size_t n_shards) {
     ResetEpochState();
     if (coordinator_options_.num_threads > 1 && n_shards > 1) {
       return RunParallel(transport, n_shards);
@@ -273,7 +276,7 @@ class Coordinator {
   // the constructor's topology — a deterministic order is what makes the
   // recovered result byte-identical to an uninterrupted one (and by the
   // paper's merge-tree independence, the error bound does not care).
-  AggregationResult<S> RunDurable(SimulatedTransport& transport,
+  AggregationResult<S> RunDurable(Transport& transport,
                                   size_t n_shards, Storage* storage,
                                   DurableOptions options = {}) {
     ResetEpochState();
@@ -376,7 +379,7 @@ class Coordinator {
   // yet durably recorded and keeps logging/checkpointing. `n_shards`
   // must match the epoch's durable shard count when one was recovered
   // (it seeds the epoch when the crash predated the first write).
-  AggregationResult<S> ResumeDurable(SimulatedTransport& transport,
+  AggregationResult<S> ResumeDurable(Transport& transport,
                                      size_t n_shards) {
     MERGEABLE_CHECK_MSG(storage_ != nullptr,
                         "ResumeDurable requires Recover() first");
@@ -395,7 +398,7 @@ class Coordinator {
   // in per-shard slots and are absorbed in ascending shard order, so
   // every aggregate (retry counts, accepted vector, merge input order)
   // matches the sequential loop exactly.
-  AggregationResult<S> RunParallel(SimulatedTransport& transport,
+  AggregationResult<S> RunParallel(Transport& transport,
                                    size_t n_shards) {
     AggregationResult<S> result;
     result.shards_total = n_shards;
@@ -525,7 +528,7 @@ class Coordinator {
   // ResumeDurable. Shards already durably received or lost are skipped;
   // everything else is fetched, WAL-logged *before* merging, and merged
   // left-deep in ascending shard order.
-  AggregationResult<S> DurableLoop(SimulatedTransport& transport,
+  AggregationResult<S> DurableLoop(Transport& transport,
                                    size_t n_shards) {
     AggregationResult<S> result;
     result.shards_total = n_shards;
@@ -606,7 +609,7 @@ class Coordinator {
   // validation stay outside the lock. Per-shard transport state plus
   // (seed, shard, attempt)-keyed fault decisions make the exchange
   // results independent of the serialization order.
-  ShardOutcome FetchShard(SimulatedTransport& transport, uint64_t shard,
+  ShardOutcome FetchShard(Transport& transport, uint64_t shard,
                           std::optional<FetchedReport>* fetched,
                           std::mutex* transport_mutex = nullptr) {
     ShardOutcome outcome;

@@ -1,0 +1,73 @@
+// Bounded (shard, epoch) dedup memory for ingest coordinators.
+//
+// Retries are the aggregation pipeline's answer to every transient
+// fault, and dedup is what makes retries idempotent — but naive dedup
+// remembers every key it ever admitted, so a duplicate storm (a
+// misbehaving worker resending one report forever, a retry loop gone
+// hot, stragglers from long-dead epochs) grows coordinator memory
+// without bound. DedupWindow caps that memory at a fixed number of
+// keys with FIFO eviction: the oldest admission is forgotten first,
+// which is safe for ingest because reports for old epochs are rejected
+// by the epoch check before dedup is ever consulted — the window only
+// needs to span the epochs currently in flight.
+//
+// Duplicates of a key already in the window are pure lookups: a storm
+// of them performs zero insertions and cannot grow the window at all
+// (the regression test sends one report thousands of times and asserts
+// exactly that).
+
+#ifndef MERGEABLE_AGGREGATE_DEDUP_H_
+#define MERGEABLE_AGGREGATE_DEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+class DedupWindow {
+ public:
+  explicit DedupWindow(size_t capacity) : capacity_(capacity) {
+    MERGEABLE_CHECK_MSG(capacity >= 1, "DedupWindow capacity must be >= 1");
+  }
+
+  // True when (shard, epoch) was not in the window — the key is
+  // recorded (evicting the oldest key when the window is full). False
+  // for a duplicate: nothing is inserted, nothing grows.
+  bool Admit(uint64_t shard, uint64_t epoch) {
+    const Key key{shard, epoch};
+    if (seen_.count(key) != 0) return false;
+    if (order_.size() >= capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+    }
+    seen_.insert(key);
+    order_.push_back(key);
+    return true;
+  }
+
+  bool Contains(uint64_t shard, uint64_t epoch) const {
+    return seen_.count(Key{shard, epoch}) != 0;
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+
+  size_t capacity_;
+  std::set<Key> seen_;
+  std::deque<Key> order_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_DEDUP_H_

@@ -89,6 +89,26 @@ void SimulatedTransport::Submit(uint64_t shard_id,
   frames_[shard_id] = std::move(frame);
 }
 
+size_t SimulatedTransport::stragglers_buffered() const {
+  size_t total = 0;
+  for (const auto& [shard, frames] : late_) total += frames.size();
+  return total;
+}
+
+void SimulatedTransport::BufferStraggler(uint64_t shard_id,
+                                         std::vector<uint8_t> frame) {
+  std::vector<std::vector<uint8_t>>& queue = late_[shard_id];
+  if (queue.size() >= kMaxStragglersPerShard) {
+    // The network already held this frame past its attempt; holding an
+    // unbounded backlog of such frames is how transports leak. The
+    // oldest straggler is the least likely to still matter — drop it.
+    queue.erase(queue.begin());
+    ++stragglers_discarded_;
+    ++drops_injected_;
+  }
+  queue.push_back(std::move(frame));
+}
+
 std::vector<uint8_t> SimulatedTransport::CorruptedCopy(
     const std::vector<uint8_t>& frame, const FaultDecision& decision) {
   std::vector<uint8_t> copy = frame;
@@ -127,10 +147,10 @@ DeliveryAttempt SimulatedTransport::Deliver(uint64_t shard_id,
   if (decision.delayed) {
     // Misses this exchange; queued as a straggler for the next one.
     ++delays_injected_;
-    late_[shard_id].push_back(std::move(frame));
+    BufferStraggler(shard_id, std::move(frame));
     if (decision.duplicate) {
       ++duplicates_injected_;
-      late_[shard_id].push_back(CorruptedCopy(it->second, decision));
+      BufferStraggler(shard_id, CorruptedCopy(it->second, decision));
     }
     return result;
   }

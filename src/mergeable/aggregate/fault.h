@@ -21,6 +21,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mergeable/aggregate/transport.h"
+
 namespace mergeable {
 
 // Per-attempt fault probabilities, each decided independently.
@@ -112,18 +114,14 @@ void ApplyTruncate(std::vector<uint8_t>& frame, uint64_t seed);
 // Flips one bit of `frame` at a position derived from `seed`.
 void ApplyBitFlip(std::vector<uint8_t>& frame, uint64_t seed);
 
-// One request/response exchange as seen by the coordinator.
-struct DeliveryAttempt {
-  // Frames that arrived in this exchange: possibly none (drop/timeout),
-  // possibly several (duplicates, stragglers from earlier attempts).
-  std::vector<std::vector<uint8_t>> frames;
-  // Virtual time the exchange consumed (the coordinator caps this at its
-  // per-attempt timeout).
-  uint64_t latency_ms = 0;
-};
-
-class SimulatedTransport {
+class SimulatedTransport : public Transport {
  public:
+  // Stragglers buffered per shard are capped: a retry storm against a
+  // slow shard would otherwise accumulate delayed frames without bound
+  // (transport memory must not scale with how unlucky the network is).
+  // Oldest stragglers are discarded first; each discard counts as a drop.
+  static constexpr size_t kMaxStragglersPerShard = 8;
+
   explicit SimulatedTransport(FaultPlan plan) : plan_(std::move(plan)) {}
 
   // Worker side: registers the pristine frame for `shard_id`.
@@ -133,17 +131,25 @@ class SimulatedTransport {
   // fault plan. A delayed frame misses its own attempt and is handed over
   // on the next attempt for that shard instead (a straggler overtaken by
   // a retry — the classic source of duplicates).
-  DeliveryAttempt Deliver(uint64_t shard_id, uint32_t attempt);
+  DeliveryAttempt Deliver(uint64_t shard_id, uint32_t attempt) override;
 
   size_t shard_count() const { return frames_.size(); }
+
+  // Straggler frames currently buffered (all shards); tests assert the
+  // per-shard cap holds under delay/duplicate storms.
+  size_t stragglers_buffered() const;
 
   // Injection counters, for tests and for the example's reporting.
   uint64_t drops_injected() const { return drops_injected_; }
   uint64_t duplicates_injected() const { return duplicates_injected_; }
   uint64_t corruptions_injected() const { return corruptions_injected_; }
   uint64_t delays_injected() const { return delays_injected_; }
+  uint64_t stragglers_discarded() const { return stragglers_discarded_; }
 
  private:
+  // Buffers a straggler under the per-shard cap (evicting the oldest).
+  void BufferStraggler(uint64_t shard_id, std::vector<uint8_t> frame);
+
   // Applies the decided corruption (if any) to a copy of the frame.
   std::vector<uint8_t> CorruptedCopy(const std::vector<uint8_t>& frame,
                                      const FaultDecision& decision);
@@ -156,6 +162,7 @@ class SimulatedTransport {
   uint64_t duplicates_injected_ = 0;
   uint64_t corruptions_injected_ = 0;
   uint64_t delays_injected_ = 0;
+  uint64_t stragglers_discarded_ = 0;
 };
 
 }  // namespace mergeable

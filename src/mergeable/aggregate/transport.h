@@ -1,0 +1,48 @@
+// The coordinator-facing transport abstraction.
+//
+// The coordinator's whole job is to stay correct when the exchange
+// below it misbehaves, so the contract is deliberately weak: one
+// Deliver(shard, attempt) call is one request/response exchange that
+// may return nothing (drop, timeout, connection refused), several
+// frames (duplicates, stragglers from earlier attempts), or frames in
+// any state of disrepair (truncated, bit-flipped, misrouted). Nothing
+// about a send is infallible or ordered — callers must dedup by
+// (shard, epoch), verify checksums, and retry under their own policy.
+//
+// SimulatedTransport (fault.h) implements this over an in-process
+// seeded fault injector; the socket ingest path (server/) speaks the
+// same framed wire format over real TCP. Extracting the interface is
+// what lets the coordinator, the tests and the benches run unchanged
+// over either.
+
+#ifndef MERGEABLE_AGGREGATE_TRANSPORT_H_
+#define MERGEABLE_AGGREGATE_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mergeable {
+
+// One request/response exchange as seen by the coordinator.
+struct DeliveryAttempt {
+  // Frames that arrived in this exchange: possibly none (drop/timeout),
+  // possibly several (duplicates, stragglers from earlier attempts).
+  std::vector<std::vector<uint8_t>> frames;
+  // Virtual time the exchange consumed (the coordinator caps this at its
+  // per-attempt timeout).
+  uint64_t latency_ms = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Plays one delivery attempt for `shard_id`. Implementations may fail,
+  // reorder, duplicate, delay or corrupt at will; they must only be
+  // deterministic in whatever way their own tests need.
+  virtual DeliveryAttempt Deliver(uint64_t shard_id, uint32_t attempt) = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_AGGREGATE_TRANSPORT_H_

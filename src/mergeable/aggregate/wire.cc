@@ -2,6 +2,7 @@
 
 #include "mergeable/util/check.h"
 #include "mergeable/util/hash.h"
+#include "mergeable/util/random.h"
 
 namespace mergeable {
 namespace {
@@ -10,6 +11,51 @@ namespace {
 constexpr uint32_t kReportMagic = 0x31545052;
 // 'S' 'U' 'M' '1' read as a little-endian u32.
 constexpr uint32_t kTaggedPayloadMagic = 0x314d5553;
+// 'N' 'A' 'K' '1' read as a little-endian u32.
+constexpr uint32_t kControlMagic = 0x314b414e;
+// 'Q' 'R' 'Y' '1' read as a little-endian u32.
+constexpr uint32_t kQueryMagic = 0x31595251;
+// 'A' 'N' 'S' '1' read as a little-endian u32.
+constexpr uint32_t kAnswerMagic = 0x31534e41;
+
+// Seals a type-specific body into the uniform control-frame layout:
+// magic, length-prefixed body, checksum over (magic, body_len, body).
+std::vector<uint8_t> SealFrame(uint32_t magic, ByteWriter body) {
+  std::vector<uint8_t> body_bytes = body.TakeBytes();
+  ByteWriter writer;
+  writer.PutU32(magic);
+  writer.PutBytes(body_bytes);
+  writer.PutU64(FrameChecksum(magic, body_bytes.size(), body_bytes));
+  return writer.TakeBytes();
+}
+
+// Opens a sealed frame: checks magic, length, trailing bytes and
+// checksum; returns the body bytes. std::nullopt on any mismatch.
+std::optional<std::vector<uint8_t>> OpenFrame(
+    uint32_t magic, const std::vector<uint8_t>& frame) {
+  ByteReader reader(frame);
+  uint32_t seen = 0;
+  if (!reader.GetU32(&seen) || seen != magic) return std::nullopt;
+  std::vector<uint8_t> body;
+  if (!reader.GetBytes(&body)) return std::nullopt;
+  uint64_t checksum = 0;
+  if (!reader.GetU64(&checksum) || !reader.Exhausted()) return std::nullopt;
+  if (checksum != FrameChecksum(magic, body.size(), body)) {
+    return std::nullopt;
+  }
+  return body;
+}
+
+bool IsControlCode(uint32_t raw) {
+  switch (static_cast<ControlCode>(raw)) {
+    case ControlCode::kAccepted:
+    case ControlCode::kRetryAfter:
+    case ControlCode::kDuplicate:
+    case ControlCode::kRejected:
+      return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -60,6 +106,122 @@ std::optional<WireReport> DecodeReportFrame(
   return report;
 }
 
+std::vector<uint8_t> EncodeControlFrame(const WireControl& control) {
+  ByteWriter body;
+  body.PutU32(static_cast<uint32_t>(control.code));
+  body.PutU64(control.shard_id);
+  body.PutU64(control.epoch);
+  body.PutU64(control.retry_after_ms);
+  return SealFrame(kControlMagic, std::move(body));
+}
+
+std::optional<WireControl> DecodeControlFrame(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body = OpenFrame(kControlMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  uint32_t code = 0;
+  WireControl control;
+  if (!reader.GetU32(&code) || !IsControlCode(code)) return std::nullopt;
+  control.code = static_cast<ControlCode>(code);
+  if (!reader.GetU64(&control.shard_id) || !reader.GetU64(&control.epoch) ||
+      !reader.GetU64(&control.retry_after_ms) || !reader.Exhausted()) {
+    return std::nullopt;
+  }
+  return control;
+}
+
+std::vector<uint8_t> EncodeQueryFrame(const WireQuery& query) {
+  ByteWriter body;
+  body.PutU64(query.stream);
+  body.PutU64(query.t1);
+  body.PutU64(query.t2);
+  body.PutU64(query.deadline_ms);
+  return SealFrame(kQueryMagic, std::move(body));
+}
+
+std::optional<WireQuery> DecodeQueryFrame(const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body = OpenFrame(kQueryMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  WireQuery query;
+  if (!reader.GetU64(&query.stream) || !reader.GetU64(&query.t1) ||
+      !reader.GetU64(&query.t2) || !reader.GetU64(&query.deadline_ms) ||
+      !reader.Exhausted()) {
+    return std::nullopt;
+  }
+  if (query.t1 > query.t2) return std::nullopt;  // Never a valid range.
+  return query;
+}
+
+std::vector<uint8_t> EncodeAnswerFrame(const WireAnswer& answer) {
+  ByteWriter body;
+  body.PutU64(answer.stream);
+  body.PutU64(answer.t1);
+  body.PutU64(answer.t2);
+  body.PutU32(static_cast<uint32_t>(answer.status));
+  body.PutU32(answer.partial ? 1 : 0);
+  body.PutU64(answer.epochs_covered);
+  body.PutDouble(answer.epsilon);
+  body.PutU64(answer.epochs);
+  body.PutU64(answer.degraded_epochs);
+  body.PutDouble(answer.coverage);
+  body.PutU64(answer.n_received);
+  body.PutU64(answer.lost_mass);
+  body.PutU32(answer.lost_mass_estimated ? 1 : 0);
+  body.PutDouble(answer.received_bound);
+  body.PutDouble(answer.full_stream_bound);
+  body.PutBytes(answer.payload);
+  return SealFrame(kAnswerMagic, std::move(body));
+}
+
+std::optional<WireAnswer> DecodeAnswerFrame(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body = OpenFrame(kAnswerMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  WireAnswer answer;
+  uint32_t status = 0;
+  uint32_t partial = 0;
+  uint32_t estimated = 0;
+  if (!reader.GetU64(&answer.stream) || !reader.GetU64(&answer.t1) ||
+      !reader.GetU64(&answer.t2) || !reader.GetU32(&status) ||
+      !reader.GetU32(&partial) || !reader.GetU64(&answer.epochs_covered) ||
+      !reader.GetDouble(&answer.epsilon) || !reader.GetU64(&answer.epochs) ||
+      !reader.GetU64(&answer.degraded_epochs) ||
+      !reader.GetDouble(&answer.coverage) ||
+      !reader.GetU64(&answer.n_received) ||
+      !reader.GetU64(&answer.lost_mass) || !reader.GetU32(&estimated) ||
+      !reader.GetDouble(&answer.received_bound) ||
+      !reader.GetDouble(&answer.full_stream_bound) ||
+      !reader.GetBytes(&answer.payload) || !reader.Exhausted()) {
+    return std::nullopt;
+  }
+  if (status != static_cast<uint32_t>(AnswerStatus::kOk) &&
+      status != static_cast<uint32_t>(AnswerStatus::kUnknownRange)) {
+    return std::nullopt;
+  }
+  if (partial > 1 || estimated > 1) return std::nullopt;
+  answer.status = static_cast<AnswerStatus>(status);
+  answer.partial = partial == 1;
+  answer.lost_mass_estimated = estimated == 1;
+  return answer;
+}
+
+FrameKind PeekFrameKind(const std::vector<uint8_t>& frame) {
+  ByteReader reader(frame);
+  uint32_t magic = 0;
+  if (!reader.GetU32(&magic)) return FrameKind::kUnknown;
+  switch (magic) {
+    case kReportMagic: return FrameKind::kReport;
+    case kTaggedPayloadMagic: return FrameKind::kTagged;
+    case kControlMagic: return FrameKind::kControl;
+    case kQueryMagic: return FrameKind::kQuery;
+    case kAnswerMagic: return FrameKind::kAnswer;
+    default: return FrameKind::kUnknown;
+  }
+}
+
 std::vector<uint8_t> EncodeTaggedPayload(SummaryTag tag,
                                          const std::vector<uint8_t>& payload) {
   MERGEABLE_CHECK_MSG(
@@ -93,6 +255,131 @@ std::optional<TaggedPayload> DecodeTaggedPayload(
     return std::nullopt;
   }
   return tagged;
+}
+
+namespace {
+
+// Seed-derived but deterministic field material for registry corpora.
+std::vector<uint8_t> CorpusBytes(uint64_t seed, size_t size) {
+  std::vector<uint8_t> bytes(size);
+  uint64_t state = seed;
+  for (auto& b : bytes) b = static_cast<uint8_t>(SplitMix64(state));
+  return bytes;
+}
+
+bool ProbeReport(const std::vector<uint8_t>& frame) {
+  std::optional<WireReport> report = DecodeReportFrame(frame);
+  if (!report.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeReportFrame(*report) == frame,
+                      "report frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> ReportCorpus(uint64_t seed) {
+  WireReport empty;
+  WireReport small{seed, seed ^ 7, CorpusBytes(seed, 24)};
+  WireReport big{~seed, 0, CorpusBytes(seed * 3 + 1, 300)};
+  return {EncodeReportFrame(empty), EncodeReportFrame(small),
+          EncodeReportFrame(big)};
+}
+
+bool ProbeTagged(const std::vector<uint8_t>& frame) {
+  std::optional<TaggedPayload> tagged = DecodeTaggedPayload(frame);
+  if (!tagged.has_value()) return false;
+  MERGEABLE_CHECK_MSG(
+      EncodeTaggedPayload(tagged->tag, tagged->payload) == frame,
+      "tagged payload must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> TaggedCorpus(uint64_t seed) {
+  return {EncodeTaggedPayload(SummaryTag::kMisraGries, {}),
+          EncodeTaggedPayload(SummaryTag::kCountMin, CorpusBytes(seed, 48)),
+          EncodeTaggedPayload(SummaryTag::kEpsKernel,
+                              CorpusBytes(seed ^ 0xabcd, 200))};
+}
+
+bool ProbeControl(const std::vector<uint8_t>& frame) {
+  std::optional<WireControl> control = DecodeControlFrame(frame);
+  if (!control.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeControlFrame(*control) == frame,
+                      "control frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> ControlCorpus(uint64_t seed) {
+  std::vector<std::vector<uint8_t>> corpus;
+  corpus.push_back(EncodeControlFrame({ControlCode::kAccepted, seed, 1, 0}));
+  corpus.push_back(
+      EncodeControlFrame({ControlCode::kRetryAfter, seed ^ 2, 7, 25}));
+  corpus.push_back(
+      EncodeControlFrame({ControlCode::kDuplicate, 0, ~seed, 0}));
+  corpus.push_back(EncodeControlFrame(
+      {ControlCode::kRejected, ~uint64_t{0}, 0, ~uint64_t{0}}));
+  return corpus;
+}
+
+bool ProbeQuery(const std::vector<uint8_t>& frame) {
+  std::optional<WireQuery> query = DecodeQueryFrame(frame);
+  if (!query.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeQueryFrame(*query) == frame,
+                      "query frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> QueryCorpus(uint64_t seed) {
+  return {EncodeQueryFrame({seed, 0, 0, 0}),
+          EncodeQueryFrame({1, seed % 64, seed % 64 + 17, 50}),
+          EncodeQueryFrame({0, 0, ~uint64_t{0}, ~uint64_t{0}})};
+}
+
+bool ProbeAnswer(const std::vector<uint8_t>& frame) {
+  std::optional<WireAnswer> answer = DecodeAnswerFrame(frame);
+  if (!answer.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeAnswerFrame(*answer) == frame,
+                      "answer frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> AnswerCorpus(uint64_t seed) {
+  WireAnswer miss;
+  miss.status = AnswerStatus::kUnknownRange;
+  WireAnswer full;
+  full.stream = seed;
+  full.t1 = 3;
+  full.t2 = 10;
+  full.epochs_covered = 8;
+  full.epsilon = 0.01;
+  full.epochs = 8;
+  full.coverage = 1.0;
+  full.n_received = 123456;
+  full.received_bound = 1234.56;
+  full.full_stream_bound = 1234.56;
+  full.payload = EncodeTaggedPayload(SummaryTag::kSpaceSaving,
+                                     CorpusBytes(seed, 64));
+  WireAnswer partial = full;
+  partial.partial = true;
+  partial.epochs_covered = 5;
+  partial.degraded_epochs = 3;
+  partial.coverage = 0.625;
+  partial.lost_mass = 4567;
+  partial.lost_mass_estimated = true;
+  partial.full_stream_bound = partial.received_bound + 4567;
+  return {EncodeAnswerFrame(miss), EncodeAnswerFrame(full),
+          EncodeAnswerFrame(partial)};
+}
+
+}  // namespace
+
+const std::vector<FrameCodecInfo>& FrameRegistry() {
+  static const std::vector<FrameCodecInfo> registry = {
+      {"ReportFrame", &ProbeReport, &ReportCorpus},
+      {"TaggedPayload", &ProbeTagged, &TaggedCorpus},
+      {"ControlFrame", &ProbeControl, &ControlCorpus},
+      {"QueryFrame", &ProbeQuery, &QueryCorpus},
+      {"AnswerFrame", &ProbeAnswer, &AnswerCorpus},
+  };
+  return registry;
 }
 
 }  // namespace mergeable

@@ -61,6 +61,129 @@ std::vector<uint8_t> EncodeReportFrame(const WireReport& report);
 // bytes, or checksum mismatch. Never aborts: frames are network data.
 std::optional<WireReport> DecodeReportFrame(const std::vector<uint8_t>& frame);
 
+// ---- Server control / query frames ----
+//
+// The socket ingest service (server/) speaks three more frame types on
+// top of the report frame. All three follow one layout so corruption
+// handling is uniform:
+//
+//   u32  magic        four ASCII bytes naming the type
+//   u32  body_len     followed by body_len bytes of type-specific body
+//   u64  checksum     FrameChecksum(magic, body_len, body)
+//
+//   'N','A','K','1'  control: the server's verdict on a report — ACK,
+//                    NACK with retry-after (backpressure / shedding),
+//                    duplicate, or hard reject. Body: u32 code,
+//                    u64 shard_id, u64 epoch, u64 retry_after_ms.
+//   'Q','R','Y','1'  query request: stream, [t1, t2] epoch range and a
+//                    deadline budget in virtual ms (0 = unbounded).
+//   'A','N','S','1'  query answer: status, partial-coverage marker, the
+//                    range's epsilon report and (on success) the tagged
+//                    summary payload.
+
+// The server's verdict on one ingest frame.
+enum class ControlCode : uint32_t {
+  kAccepted = 1,    // Report admitted and recorded; do not resend.
+  kRetryAfter = 2,  // Shed under overload: resend after retry_after_ms.
+  kDuplicate = 3,   // (shard, epoch) already recorded; do not resend.
+  kRejected = 4,    // Malformed / misrouted; retrying cannot help.
+};
+
+struct WireControl {
+  ControlCode code = ControlCode::kAccepted;
+  uint64_t shard_id = 0;
+  uint64_t epoch = 0;
+  uint64_t retry_after_ms = 0;  // Meaningful for kRetryAfter only.
+};
+
+std::vector<uint8_t> EncodeControlFrame(const WireControl& control);
+std::optional<WireControl> DecodeControlFrame(
+    const std::vector<uint8_t>& frame);
+
+// A range query shipped to the server: epochs [t1, t2] of `stream`,
+// answered within `deadline_ms` of virtual merge budget (0 = no
+// deadline). A query that cannot merge its covering nodes in time comes
+// back partial with a correspondingly widened epsilon, never blocked.
+struct WireQuery {
+  uint64_t stream = 0;
+  uint64_t t1 = 0;
+  uint64_t t2 = 0;
+  uint64_t deadline_ms = 0;
+};
+
+std::vector<uint8_t> EncodeQueryFrame(const WireQuery& query);
+std::optional<WireQuery> DecodeQueryFrame(const std::vector<uint8_t>& frame);
+
+enum class AnswerStatus : uint32_t {
+  kOk = 1,            // Payload holds the merged summary for the range.
+  kUnknownRange = 2,  // Stream unknown or range not fully sealed.
+};
+
+// A query answer: the epsilon report of the covered epochs plus the
+// merged summary as a tagged payload (wire.h envelope). `partial` marks
+// deadline-bounded answers that cover only [t1, t1 + epochs_covered);
+// the mass of the uncovered suffix is already folded into lost_mass /
+// full_stream_bound, so the bound stays honest.
+struct WireAnswer {
+  uint64_t stream = 0;
+  uint64_t t1 = 0;
+  uint64_t t2 = 0;
+  AnswerStatus status = AnswerStatus::kOk;
+  bool partial = false;
+  uint64_t epochs_covered = 0;
+  // EpsilonReport fields (store/epoch_meta.h), flattened for the wire.
+  double epsilon = 0.0;
+  uint64_t epochs = 0;
+  uint64_t degraded_epochs = 0;
+  double coverage = 1.0;
+  uint64_t n_received = 0;
+  uint64_t lost_mass = 0;
+  bool lost_mass_estimated = false;
+  double received_bound = 0.0;
+  double full_stream_bound = 0.0;
+  // Tagged summary payload (empty unless status == kOk).
+  std::vector<uint8_t> payload;
+};
+
+std::vector<uint8_t> EncodeAnswerFrame(const WireAnswer& answer);
+std::optional<WireAnswer> DecodeAnswerFrame(const std::vector<uint8_t>& frame);
+
+// Frame classification by magic — how the server routes an incoming
+// frame to the right decoder (and the right admission class) without
+// parsing the body.
+enum class FrameKind {
+  kReport,
+  kTagged,
+  kControl,
+  kQuery,
+  kAnswer,
+  kUnknown,  // Too short or unrecognized magic.
+};
+
+FrameKind PeekFrameKind(const std::vector<uint8_t>& frame);
+
+// ---- Frame codec registry ----
+//
+// Every frame codec above is a parser of untrusted network bytes, so
+// each gets the same corrupt-input battery and mutation fuzzing the
+// summary codecs get via summary_registry.h. One table entry per frame
+// type: a probe (does the frame decode + survive an encode round-trip)
+// and a deterministic corpus of real encodings covering the structural
+// variants (empty / filled / edge-value bodies).
+struct FrameCodecInfo {
+  const char* name;
+  // Whether the frame decodes; when it does, the probe also asserts the
+  // decode→encode round trip is a byte-for-byte fixed point (aborts on
+  // violation — that is a codec bug, not bad input).
+  bool (*probe)(const std::vector<uint8_t>& frame);
+  std::vector<std::vector<uint8_t>> (*corpus)(uint64_t seed);
+};
+
+// Every frame codec, in a fixed order: report, tagged payload, control,
+// query, answer. Tests iterate this table, so a frame type added here is
+// automatically fuzzed and corruption-tested.
+const std::vector<FrameCodecInfo>& FrameRegistry();
+
 // A summary encoding annotated with its registry tag.
 struct TaggedPayload {
   SummaryTag tag = SummaryTag::kMisraGries;

@@ -1,0 +1,113 @@
+#include "mergeable/server/admission.h"
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  MERGEABLE_CHECK_MSG(config_.low_watermark <= config_.high_watermark,
+                      "low watermark must not exceed high watermark");
+  MERGEABLE_CHECK_MSG(config_.high_watermark <= config_.hard_cap,
+                      "high watermark must not exceed hard cap");
+  MERGEABLE_CHECK_MSG(config_.hard_cap >= 1, "hard cap must be >= 1");
+}
+
+AdmitResult AdmissionQueue::Offer(WorkItem item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return AdmitResult::kClosed;
+
+  const bool is_query = item.kind == WorkKind::kQuery;
+  const size_t item_bytes = item.frame.size();
+
+  // Hard limits first: nothing is admitted above the cap or the byte
+  // budget, queries included.
+  if (queue_.size() >= config_.hard_cap ||
+      queued_bytes_ + item_bytes > config_.byte_budget) {
+    if (is_query) {
+      ++stats_.shed_queries;
+    } else {
+      ++stats_.shed_reports;
+    }
+    return AdmitResult::kOverCap;
+  }
+
+  // Hysteresis: engage above high, release below low (checked in
+  // Take()).
+  if (queue_.size() >= config_.high_watermark) backpressure_ = true;
+
+  // Priority shedding: under backpressure, reports are refused while
+  // queries keep flowing up to the hard cap.
+  if (backpressure_ && !is_query) {
+    ++stats_.shed_reports;
+    ++stats_.backpressure_nacks;
+    return AdmitResult::kBackpressure;
+  }
+
+  queued_bytes_ += item_bytes;
+  queue_.push_back(std::move(item));
+  if (is_query) {
+    ++stats_.admitted_queries;
+  } else {
+    ++stats_.admitted_reports;
+  }
+  if (queue_.size() > stats_.peak_depth) stats_.peak_depth = queue_.size();
+  if (queued_bytes_ > stats_.peak_bytes) stats_.peak_bytes = queued_bytes_;
+  take_cv_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+std::optional<WorkItem> AdmissionQueue::Take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  take_cv_.wait(lock, [this] {
+    return (!paused_ && !queue_.empty()) || (closed_ && queue_.empty());
+  });
+  if (queue_.empty()) return std::nullopt;  // Closed and drained.
+  WorkItem item = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= item.frame.size();
+  if (backpressure_ && queue_.size() <= config_.low_watermark) {
+    backpressure_ = false;
+  }
+  if (queue_.empty()) empty_cv_.notify_all();
+  return item;
+}
+
+void AdmissionQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  take_cv_.notify_all();
+  empty_cv_.notify_all();
+}
+
+void AdmissionQueue::SetPaused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+  if (!paused_) take_cv_.notify_all();
+}
+
+void AdmissionQueue::WaitUntilEmpty() {
+  std::unique_lock<std::mutex> lock(mu_);
+  empty_cv_.wait(lock, [this] { return queue_.empty(); });
+}
+
+bool AdmissionQueue::in_backpressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backpressure_;
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t AdmissionQueue::queued_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bytes_;
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mergeable

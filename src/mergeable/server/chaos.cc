@@ -1,0 +1,44 @@
+#include "mergeable/server/chaos.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace mergeable {
+
+StalledConnection::StalledConnection(uint16_t port)
+    : fd_(ConnectLoopback(port, /*timeout_ms=*/200)) {}
+
+bool StalledConnection::SendPartial(uint32_t claimed_len, uint32_t sent) {
+  if (!fd_.valid()) return false;
+  std::vector<uint8_t> bytes;
+  bytes.push_back(static_cast<uint8_t>(claimed_len & 0xff));
+  bytes.push_back(static_cast<uint8_t>((claimed_len >> 8) & 0xff));
+  bytes.push_back(static_cast<uint8_t>((claimed_len >> 16) & 0xff));
+  bytes.push_back(static_cast<uint8_t>((claimed_len >> 24) & 0xff));
+  bytes.insert(bytes.end(), sent, 0xab);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + written,
+                             bytes.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool StalledConnection::PeerClosed() {
+  if (!fd_.valid()) return true;
+  uint8_t byte = 0;
+  const ssize_t got = ::recv(fd_.get(), &byte, 1, 0);
+  if (got == 0) return true;                      // Orderly close.
+  if (got < 0 && (errno == ECONNRESET || errno == EPIPE)) return true;
+  return false;  // Data or timeout: still open as far as we can tell.
+}
+
+}  // namespace mergeable

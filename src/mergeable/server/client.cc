@@ -1,0 +1,117 @@
+#include "mergeable/server/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace mergeable {
+
+IngestClient::IngestClient(uint16_t port, uint64_t recv_timeout_ms)
+    : port_(port), recv_timeout_ms_(recv_timeout_ms),
+      fd_(ConnectLoopback(port, recv_timeout_ms)) {}
+
+bool IngestClient::Reconnect() {
+  fd_ = ScopedFd(ConnectLoopback(port_, recv_timeout_ms_));
+  decoder_ = FrameDecoder();
+  ++stats_.reconnects;
+  return fd_.valid();
+}
+
+bool IngestClient::SendFrame(const std::vector<uint8_t>& frame) {
+  if (!fd_.valid()) return false;
+  const std::vector<uint8_t> wrapped = WrapFrame(frame);
+  size_t sent = 0;
+  while (sent < wrapped.size()) {
+    const ssize_t n = ::send(fd_.get(), wrapped.data() + sent,
+                             wrapped.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ++stats_.transport_errors;
+    return false;
+  }
+  ++stats_.frames_sent;
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> IngestClient::ReadFrame() {
+  if (!fd_.valid()) return std::nullopt;
+  while (true) {
+    if (std::optional<std::vector<uint8_t>> frame = decoder_.Next()) {
+      return frame;
+    }
+    if (decoder_.poisoned()) return std::nullopt;
+    uint8_t chunk[65536];
+    const ssize_t got = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      if (!decoder_.Feed(chunk, static_cast<size_t>(got))) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    // Timeout (EAGAIN under SO_RCVTIMEO), hangup, or error.
+    ++stats_.transport_errors;
+    return std::nullopt;
+  }
+}
+
+SendStatus IngestClient::SendReport(const WireReport& report,
+                                    const BackoffPolicy& policy) {
+  const std::vector<uint8_t> frame = EncodeReportFrame(report);
+  uint64_t retry_after_hint = 0;
+  for (uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      const uint64_t wait =
+          std::max(policy.BackoffBefore(attempt), retry_after_hint);
+      if (wait > 0) {
+        stats_.slept_ms += wait;
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      }
+    }
+    if (!fd_.valid() && !Reconnect()) continue;
+    if (!SendFrame(frame)) {
+      Reconnect();
+      continue;
+    }
+    std::optional<std::vector<uint8_t>> response = ReadFrame();
+    if (!response.has_value()) {
+      Reconnect();
+      continue;
+    }
+    std::optional<WireControl> control = DecodeControlFrame(*response);
+    if (!control.has_value()) continue;  // Not a verdict; try again.
+    switch (control->code) {
+      case ControlCode::kAccepted:
+        return SendStatus::kAccepted;
+      case ControlCode::kDuplicate:
+        // A previous attempt landed after all; the report is recorded.
+        ++stats_.duplicates;
+        return SendStatus::kAccepted;
+      case ControlCode::kRetryAfter:
+        ++stats_.retry_after_nacks;
+        retry_after_hint = control->retry_after_ms;
+        break;
+      case ControlCode::kRejected:
+        return SendStatus::kRejected;
+    }
+  }
+  return SendStatus::kExhausted;
+}
+
+std::optional<WireAnswer> IngestClient::Query(const WireQuery& query) {
+  if (!fd_.valid() && !Reconnect()) return std::nullopt;
+  if (!SendFrame(EncodeQueryFrame(query))) return std::nullopt;
+  std::optional<std::vector<uint8_t>> response = ReadFrame();
+  if (!response.has_value()) return std::nullopt;
+  return DecodeAnswerFrame(*response);
+}
+
+}  // namespace mergeable

@@ -1,0 +1,80 @@
+// Ingest client: the worker side of the socket transport.
+//
+// Speaks the framed wire protocol over a loopback TCP connection:
+// length-prefixed frames out, length-prefixed frames back. SendReport
+// is the retry loop a worker runs against an overloaded server — it
+// reuses the aggregation pipeline's BackoffPolicy (coordinator.h) and
+// additionally honors the server's retry-after hints: a NACKed report
+// waits max(policy backoff, server hint) before trying again, so a
+// cooperating fleet backs off exactly as hard as the server asks.
+// Transport faults (hangup, timeout) reconnect and retry under the same
+// policy; the server's dedup makes the resend idempotent.
+
+#ifndef MERGEABLE_SERVER_CLIENT_H_
+#define MERGEABLE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mergeable/aggregate/coordinator.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/server/frame_stream.h"
+#include "mergeable/server/net.h"
+
+namespace mergeable {
+
+// Terminal verdict of one SendReport retry loop.
+enum class SendStatus : uint8_t {
+  kAccepted = 0,   // Server recorded the report (or already had it).
+  kRejected = 1,   // Server says retrying cannot help.
+  kExhausted = 2,  // Retries/backoff budget spent; report is lost.
+};
+
+struct ClientStats {
+  uint64_t frames_sent = 0;
+  uint64_t retries = 0;          // Attempts beyond each first.
+  uint64_t retry_after_nacks = 0;
+  uint64_t duplicates = 0;       // kDuplicate verdicts (benign).
+  uint64_t reconnects = 0;
+  uint64_t transport_errors = 0;
+  uint64_t slept_ms = 0;         // Real backoff slept, for inspection.
+};
+
+class IngestClient {
+ public:
+  // Connects immediately; connected() reports the outcome.
+  explicit IngestClient(uint16_t port, uint64_t recv_timeout_ms = 5000);
+
+  bool connected() const { return fd_.valid(); }
+  bool Reconnect();
+
+  // Writes one frame (length-prefixed); false on transport error.
+  bool SendFrame(const std::vector<uint8_t>& frame);
+
+  // Blocks for the next complete frame; std::nullopt on timeout,
+  // hangup, or a poisoned stream.
+  std::optional<std::vector<uint8_t>> ReadFrame();
+
+  // The full ingest exchange with retries: send the report, await the
+  // control verdict, back off and resend on NACK or transport fault.
+  SendStatus SendReport(const WireReport& report,
+                        const BackoffPolicy& policy);
+
+  // One query exchange; std::nullopt on transport failure or a
+  // non-answer response.
+  std::optional<WireAnswer> Query(const WireQuery& query);
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  uint16_t port_;
+  uint64_t recv_timeout_ms_;
+  ScopedFd fd_;
+  FrameDecoder decoder_;
+  ClientStats stats_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_SERVER_CLIENT_H_

@@ -1,0 +1,243 @@
+// EpochService<S>: the summary-typed brain behind the ingest server.
+//
+// The server core (ingest_server.h) moves frames; this class gives them
+// meaning. It plays the coordinator's role on the receiving side of the
+// wire: collect one report per (shard, epoch), dedup retries through a
+// bounded window (aggregate/dedup.h), and on SealEpoch() merge the
+// epoch's accepted payloads into one summary that goes into the
+// SummaryStore — in ascending shard order, left-deep, with
+// CanonicalMergeInto, the exact merge the durable coordinator performs,
+// so a server-built epoch is byte-identical to a Coordinator-built one
+// over the same reports (ISSUE criterion c; the server equivalence test
+// asserts it).
+//
+// Epsilon accounting closes the loop on load shedding: SealEpoch takes
+// the offered mass (what the shards sent, shed or not) and charges
+// everything that did not arrive as lost mass via AccountErrors — the
+// same arithmetic the aggregation pipeline uses for network loss, now
+// applied to the server's own admission decisions. A shed report is a
+// lost shard; the range query's degraded-coverage report says exactly
+// that (criterion b).
+//
+// Queries run through the store's deadline-bounded path: a deadline the
+// cover cannot afford yields a partial answer with a widened bound, not
+// a stalled connection.
+//
+// Thread safety: HandleReport/HandleQuery run on server worker threads;
+// a single mutex serializes them with SealEpoch (the store's own
+// contract requires sealing serialized with queries anyway).
+
+#ifndef MERGEABLE_SERVER_EPOCH_SERVICE_H_
+#define MERGEABLE_SERVER_EPOCH_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mergeable/aggregate/coordinator.h"
+#include "mergeable/aggregate/dedup.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/server/ingest_server.h"
+#include "mergeable/store/summary_store.h"
+#include "mergeable/util/bytes.h"
+
+namespace mergeable {
+
+struct EpochServiceConfig {
+  uint64_t stream = 1;
+  // Shards expected per epoch; reports from shard ids >= this are
+  // rejected, and coverage accounting uses it as the denominator.
+  uint64_t shards_per_epoch = 4;
+  // Dedup window capacity (keys = in-flight (shard, epoch) pairs).
+  size_t dedup_capacity = 1024;
+  // Virtual per-node merge cost charged against a query's deadline
+  // budget; 0 disables deadline enforcement (tests crank it up to force
+  // partial answers deterministically).
+  uint64_t query_cost_per_node_ms = 0;
+};
+
+struct EpochServiceStats {
+  uint64_t reports_accepted = 0;
+  uint64_t reports_duplicate = 0;
+  uint64_t reports_rejected = 0;  // Malformed / misrouted shard or epoch.
+  uint64_t queries_answered = 0;
+  uint64_t queries_partial = 0;
+  uint64_t queries_refused = 0;  // Unknown stream / unsealed range.
+};
+
+template <WireSummary S>
+class EpochService : public FrameHandler {
+ public:
+  EpochService(SummaryStore<S>* store, EpochServiceConfig config)
+      : store_(store), config_(config), dedup_(config.dedup_capacity) {
+    MERGEABLE_CHECK_MSG(store != nullptr, "EpochService needs a store");
+    MERGEABLE_CHECK_MSG(config.shards_per_epoch >= 1,
+                        "EpochService needs at least one shard");
+  }
+
+  std::vector<uint8_t> HandleReport(
+      const std::vector<uint8_t>& frame) override {
+    std::optional<WireReport> report = DecodeReportFrame(frame);
+    WireControl control;
+    if (!report.has_value()) {
+      control.code = ControlCode::kRejected;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.reports_rejected;
+      return EncodeControlFrame(control);
+    }
+    control.shard_id = report->shard_id;
+    control.epoch = report->epoch;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (report->shard_id >= config_.shards_per_epoch ||
+        report->epoch < next_epoch_) {
+      // Misrouted shard, or a straggler for an epoch already sealed —
+      // resending cannot help either one.
+      control.code = ControlCode::kRejected;
+      ++stats_.reports_rejected;
+      return EncodeControlFrame(control);
+    }
+    if (!dedup_.Admit(report->shard_id, report->epoch)) {
+      control.code = ControlCode::kDuplicate;
+      ++stats_.reports_duplicate;
+      return EncodeControlFrame(control);
+    }
+    // Validate the payload decodes as this service's summary type
+    // before accepting: a corrupt payload acked now would abort the
+    // seal later, long after the client stopped listening.
+    ByteReader reader(report->payload);
+    std::optional<S> summary = S::DecodeFrom(reader);
+    if (!summary.has_value() || !reader.Exhausted()) {
+      control.code = ControlCode::kRejected;
+      ++stats_.reports_rejected;
+      return EncodeControlFrame(control);
+    }
+    pending_[report->epoch].insert_or_assign(report->shard_id,
+                                             std::move(*summary));
+    control.code = ControlCode::kAccepted;
+    ++stats_.reports_accepted;
+    return EncodeControlFrame(control);
+  }
+
+  std::vector<uint8_t> HandleQuery(
+      const std::vector<uint8_t>& frame) override {
+    std::optional<WireQuery> query = DecodeQueryFrame(frame);
+    WireAnswer answer;
+    if (!query.has_value()) {
+      answer.status = AnswerStatus::kUnknownRange;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queries_refused;
+      return EncodeAnswerFrame(answer);
+    }
+    answer.stream = query->stream;
+    answer.t1 = query->t1;
+    answer.t2 = query->t2;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    QueryDeadline deadline;
+    if (query->deadline_ms != 0) deadline.budget_ms = query->deadline_ms;
+    deadline.cost_per_node_ms = config_.query_cost_per_node_ms;
+    std::optional<typename SummaryStore<S>::RangeOutcome> outcome =
+        query->stream == config_.stream
+            ? store_->QueryRangePayloadBounded(query->stream, query->t1,
+                                               query->t2, deadline)
+            : std::nullopt;
+    if (!outcome.has_value()) {
+      answer.status = AnswerStatus::kUnknownRange;
+      ++stats_.queries_refused;
+      return EncodeAnswerFrame(answer);
+    }
+    answer.status = AnswerStatus::kOk;
+    answer.partial = outcome->partial;
+    answer.epochs_covered = outcome->covered_hi - query->t1 + 1;
+    answer.epsilon = outcome->eps.epsilon;
+    answer.epochs = outcome->eps.epochs;
+    answer.degraded_epochs = outcome->eps.degraded_epochs;
+    answer.coverage = outcome->eps.coverage;
+    answer.n_received = outcome->eps.n_received;
+    answer.lost_mass = outcome->eps.lost_mass;
+    answer.lost_mass_estimated = outcome->eps.lost_mass_estimated;
+    answer.received_bound = outcome->eps.received_bound;
+    answer.full_stream_bound = outcome->eps.full_stream_bound;
+    answer.payload = EncodeTaggedPayload(SummaryTraits<S>::kTag,
+                                         *outcome->payload);
+    ++stats_.queries_answered;
+    if (outcome->partial) ++stats_.queries_partial;
+    return EncodeAnswerFrame(answer);
+  }
+
+  // Seals `epoch` into the store from whatever reports arrived:
+  // ascending shard order, left-deep canonical merge — byte-identical
+  // to Coordinator::RunDurable over the same payloads. `offered_n` is
+  // the total mass the shards tried to send (what the chaos harness
+  // knows it offered); everything that did not arrive — shed, dropped,
+  // never sent — becomes lost mass. Returns false when nothing arrived
+  // for the epoch (zero coverage seals nothing, same as the
+  // coordinator) or a storage write failed.
+  bool SealEpoch(uint64_t epoch, uint64_t offered_n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MERGEABLE_CHECK_MSG(epoch >= next_epoch_,
+                        "epochs must be sealed in order");
+    auto it = pending_.find(epoch);
+    AggregationResult<S> result;
+    result.shards_total = config_.shards_per_epoch;
+    if (it != pending_.end()) {
+      for (auto& [shard, summary] : it->second) {
+        ++result.shards_received;
+        if (result.summary.has_value()) {
+          CanonicalMergeInto(*result.summary, summary);
+        } else {
+          result.summary = CanonicalForm(summary);
+        }
+      }
+    }
+    // Epochs at or below the seal point can never be admitted again
+    // (HandleReport rejects them), so their pending state is dead.
+    pending_.erase(pending_.begin(), pending_.upper_bound(epoch));
+    next_epoch_ = epoch + 1;
+    if (!result.summary.has_value()) return false;
+    return store_->SealResult(config_.stream, epoch, result, offered_n);
+  }
+
+  uint64_t next_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_epoch_;
+  }
+  size_t pending_reports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [epoch, shards] : pending_) n += shards.size();
+    return n;
+  }
+  size_t dedup_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dedup_.size();
+  }
+  uint64_t dedup_evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dedup_.evictions();
+  }
+  EpochServiceStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  SummaryStore<S>* store_;
+  EpochServiceConfig config_;
+
+  mutable std::mutex mu_;
+  DedupWindow dedup_;
+  // epoch -> shard -> decoded summary (std::map: ascending shard order
+  // is the canonical merge order).
+  std::map<uint64_t, std::map<uint64_t, S>> pending_;
+  uint64_t next_epoch_ = 0;
+  EpochServiceStats stats_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_SERVER_EPOCH_SERVICE_H_

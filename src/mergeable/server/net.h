@@ -1,0 +1,121 @@
+// Thin POSIX socket / epoll wrappers for the ingest server.
+//
+// Everything the server needs from the OS, and nothing more: RAII file
+// descriptors, a loopback TCP listener (port 0 = ephemeral, so tests
+// and benches never fight over ports), non-blocking mode, an epoll set
+// and an eventfd for cross-thread wakeups. All loopback-only by policy:
+// this service fronts an aggregation tier, not the public internet, so
+// it binds 127.0.0.1 and leaves authentication to the deployment.
+
+#ifndef MERGEABLE_SERVER_NET_H_
+#define MERGEABLE_SERVER_NET_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mergeable {
+
+// Owns a file descriptor; closes on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Puts `fd` into non-blocking mode; false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+// A listening TCP socket on 127.0.0.1. Port 0 binds an ephemeral port;
+// `port()` reports the actual one.
+class TcpListener {
+ public:
+  // std::nullopt when any syscall fails (e.g. the port is taken).
+  static std::optional<TcpListener> Bind(uint16_t port);
+
+  int fd() const { return fd_.get(); }
+  uint16_t port() const { return port_; }
+
+  // Accepts one pending connection, already non-blocking; -1 when none
+  // is pending (or on error).
+  int Accept();
+
+ private:
+  TcpListener(ScopedFd fd, uint16_t port)
+      : fd_(std::move(fd)), port_(port) {}
+
+  ScopedFd fd_;
+  uint16_t port_ = 0;
+};
+
+// Blocking client-side connect to 127.0.0.1:`port`; -1 on failure.
+// `timeout_ms` applies to subsequent reads (SO_RCVTIMEO), so a client
+// waiting on a stalled server errors out instead of hanging a test.
+int ConnectLoopback(uint16_t port, uint64_t timeout_ms = 5000);
+
+// One ready fd from an epoll wait.
+struct EpollEvent {
+  uint64_t data = 0;       // The u64 registered with Add/Mod.
+  bool readable = false;   // EPOLLIN
+  bool writable = false;   // EPOLLOUT
+  bool closed = false;     // EPOLLHUP / EPOLLERR / EPOLLRDHUP
+};
+
+class Epoll {
+ public:
+  Epoll();
+  ~Epoll() = default;
+  Epoll(Epoll&&) = default;
+  Epoll& operator=(Epoll&&) = default;
+
+  bool valid() const { return fd_.valid(); }
+  bool Add(int fd, uint64_t data, bool want_write);
+  bool Mod(int fd, uint64_t data, bool want_write);
+  bool Del(int fd);
+
+  // Blocks up to `timeout_ms` (-1 = forever); returns the ready set.
+  std::vector<EpollEvent> Wait(int timeout_ms);
+
+ private:
+  ScopedFd fd_;
+};
+
+// An eventfd: Signal() from any thread makes the epoll set readable.
+class WakeFd {
+ public:
+  WakeFd();
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  void Signal();
+  void Drain();  // Consumes pending signals (loop thread only).
+
+ private:
+  ScopedFd fd_;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_SERVER_NET_H_

@@ -72,6 +72,19 @@ struct EpsilonReport {
 EpsilonReport AccumulateEpsilon(const std::vector<EpochMeta>& metas,
                                 uint64_t lo, uint64_t hi, double epsilon);
 
+// Partial-coverage variant for deadline-bounded queries: the answer
+// merged only epochs [lo..covered_hi] of the requested [lo..hi]
+// (lo <= covered_hi <= hi). Uncovered epochs contribute nothing to the
+// answer, so *all* of their mass is unobserved: each adds its received
+// mass n plus its own lost mass to lost_mass, counts as degraded, and
+// counts its shards as offered-but-not-received for coverage. The
+// result is an exact widening — full_stream_bound equals the covered
+// prefix's bound plus every byte of mass the deadline forced the
+// answer to skip, so a partial answer never understates its error.
+EpsilonReport AccumulateEpsilonPartial(const std::vector<EpochMeta>& metas,
+                                       uint64_t lo, uint64_t hi,
+                                       uint64_t covered_hi, double epsilon);
+
 // Serializes `meta` together with the epoch's tagged summary payload
 // (wire.h) into one self-checking record — what a level-0 store file
 // holds.

@@ -121,6 +121,20 @@ struct StoreOptions {
   int num_threads = 1;
 };
 
+// Deadline budget for a bounded range query. Time is virtual: the
+// query charges `cost_per_node_ms` against `budget_ms` for every
+// covering node it materializes and merges, which keeps tests and the
+// chaos harness deterministic (a slow-merge injection is just a large
+// cost) while modeling exactly the decision a wall-clock deadline
+// forces: stop merging, answer with what you have, widen epsilon by
+// what you skipped.
+struct QueryDeadline {
+  // Virtual milliseconds available; UINT64_MAX = unbounded.
+  uint64_t budget_ms = ~uint64_t{0};
+  // Virtual cost charged per covering node (fetch + merge).
+  uint64_t cost_per_node_ms = 0;
+};
+
 // What one range query cost (per-query mirror of the global counters).
 struct QueryStats {
   uint64_t nodes_merged = 0;      // Covering nodes fetched (0 if warm).
@@ -144,10 +158,17 @@ template <WireSummary S>
 class SummaryStore {
  public:
   struct RangeOutcome {
-    // Canonical payload of the merged summary over the range.
+    // Canonical payload of the merged summary over the range (of the
+    // covered prefix only, for partial answers).
     MergedSummaryCache::Payload payload;
     EpsilonReport eps;
     QueryStats stats;
+    // Deadline-bounded answers: true when the budget ran out before the
+    // whole range was merged. The payload then covers the contiguous
+    // prefix [t1, covered_hi] and eps already accounts every epoch of
+    // (covered_hi, t2] as lost mass.
+    bool partial = false;
+    uint64_t covered_hi = 0;  // Absolute epoch; == t2 when !partial.
   };
 
   explicit SummaryStore(Storage* storage, StoreOptions options = {})
@@ -357,6 +378,66 @@ class SummaryStore {
       return MergeCover(stream, lo, hi, &stats);
     });
     stats.range_cache_hit = !built;
+    outcome.covered_hi = t2;
+    return outcome;
+  }
+
+  // Deadline-bounded variant: answers [t1, t2] within
+  // `deadline.budget_ms` of virtual time, charging
+  // `deadline.cost_per_node_ms` per covering node. Nodes are merged in
+  // epoch order; when the budget runs out mid-cover the answer is the
+  // merge of the prefix processed so far, with every skipped epoch's
+  // mass folded into the epsilon report (AccumulateEpsilonPartial) —
+  // a partial answer with an honest, wider bound instead of a stalled
+  // query. At least one covering node is always merged: an answer of
+  // nothing serves nobody, and one node is the floor any deadline must
+  // afford. Partial answers bypass the range cache (they are not the
+  // range's value); full answers under a generous deadline share the
+  // cached path with QueryRangePayload.
+  std::optional<RangeOutcome> QueryRangePayloadBounded(
+      uint64_t stream, uint64_t t1, uint64_t t2, QueryDeadline deadline) {
+    const uint64_t cost = deadline.cost_per_node_ms;
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) return std::nullopt;
+    const StreamState& state = it->second;
+    if (t1 > t2 || t1 < state.base_epoch ||
+        t2 >= state.base_epoch + state.metas.size()) {
+      return std::nullopt;
+    }
+    const uint64_t lo = t1 - state.base_epoch;
+    const uint64_t hi = t2 - state.base_epoch;
+    const std::vector<DyadicNode> cover = DyadicCover(lo, hi);
+    // Every node affordable: identical to the unbounded (cached) path.
+    if (cost == 0 ||
+        cover.size() <= deadline.budget_ms / cost) {
+      return QueryRangePayload(stream, t1, t2);
+    }
+
+    RangeOutcome outcome;
+    outcome.partial = true;
+    QueryStats& stats = outcome.stats;
+    uint64_t spent = 0;
+    std::optional<S> merged;
+    uint64_t covered_hi_index = lo;
+    for (const DyadicNode& node : cover) {
+      if (merged.has_value() && spent + cost > deadline.budget_ms) break;
+      spent += cost;
+      ++stats.nodes_merged;
+      S part = DecodeSummaryOrDie<S>(*NodePayload(stream, node, &stats));
+      if (merged.has_value()) {
+        CanonicalMergeInto(*merged, part);
+        ++stats.merges_performed;
+      } else {
+        merged = std::move(part);
+      }
+      covered_hi_index = node.last();
+    }
+    outcome.covered_hi = state.base_epoch + covered_hi_index;
+    outcome.eps = AccumulateEpsilonPartial(state.metas, lo, hi,
+                                           covered_hi_index,
+                                           options_.epsilon);
+    outcome.payload = std::make_shared<const std::vector<uint8_t>>(
+        EncodeSummary<S>(*merged));
     return outcome;
   }
 

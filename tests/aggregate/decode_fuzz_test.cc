@@ -17,6 +17,7 @@
 
 #include "mergeable/aggregate/fuzz.h"
 #include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/aggregate/wire.h"
 
 namespace mergeable {
 namespace {
@@ -51,6 +52,39 @@ TEST(DecodeFuzzTest, FuzzAllRegisteredCodecsCoversTheRegistry) {
     EXPECT_EQ(result.stats.iterations, 500u) << result.name;
     EXPECT_EQ(result.stats.reencode_failures, 0u) << result.name;
     EXPECT_EQ(result.stats.index_rebuild_violations, 0u) << result.name;
+  }
+}
+
+// Frame codecs (wire.h FrameRegistry) get the same treatment: every
+// frame type's corpus is mutated >= 10k times; the probe must never
+// crash, and whenever a mutant decodes the probe internally asserts the
+// re-encode fixed point (an abort here is a codec bug). Corpus entries
+// themselves must always probe true.
+TEST(DecodeFuzzTest, EveryFrameCodecSurvivesMutatedInputs) {
+  uint64_t seed = 211;
+  for (const FrameCodecInfo& info : FrameRegistry()) {
+    SCOPED_TRACE(info.name);
+    const std::vector<std::vector<uint8_t>> corpus = info.corpus(seed);
+    ASSERT_FALSE(corpus.empty());
+    for (const auto& frame : corpus) {
+      EXPECT_TRUE(info.probe(frame)) << "pristine corpus entry rejected";
+    }
+    ByteMutator mutator(seed);
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    for (uint64_t i = 0; i < kIterations; ++i) {
+      const std::vector<uint8_t>& base = corpus[i % corpus.size()];
+      const std::vector<uint8_t>& donor =
+          corpus[(i / corpus.size() + 1) % corpus.size()];
+      const std::vector<uint8_t> mutant = mutator.Mutate(base, &donor);
+      if (info.probe(mutant)) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(accepted + rejected, kIterations);
+    ++seed;
   }
 }
 

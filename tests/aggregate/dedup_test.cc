@@ -1,0 +1,85 @@
+// DedupWindow: bounded retry memory for ingest coordinators.
+//
+// The regression this file guards (ISSUE satellite): a duplicate storm
+// — one report resent forever — must not grow coordinator dedup state
+// past its cap. Before the window existed, every admitted key lived
+// forever; the storm test asserts the bound directly.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/dedup.h"
+
+namespace mergeable {
+namespace {
+
+TEST(DedupTest, AdmitsNewKeysAndRefusesDuplicates) {
+  DedupWindow window(8);
+  EXPECT_TRUE(window.Admit(1, 1));
+  EXPECT_TRUE(window.Admit(2, 1));
+  EXPECT_FALSE(window.Admit(1, 1));
+  EXPECT_TRUE(window.Admit(1, 2));  // Same shard, new epoch: distinct.
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_TRUE(window.Contains(1, 1));
+  EXPECT_FALSE(window.Contains(9, 9));
+}
+
+TEST(DedupTest, SizeNeverExceedsCapacity) {
+  DedupWindow window(16);
+  for (uint64_t shard = 0; shard < 100; ++shard) {
+    for (uint64_t epoch = 0; epoch < 10; ++epoch) {
+      window.Admit(shard, epoch);
+      EXPECT_LE(window.size(), 16u);
+    }
+  }
+  EXPECT_EQ(window.size(), 16u);
+  EXPECT_EQ(window.evictions(), 1000u - 16u);
+}
+
+TEST(DedupTest, EvictionIsFifo) {
+  DedupWindow window(3);
+  window.Admit(0, 0);
+  window.Admit(1, 0);
+  window.Admit(2, 0);
+  window.Admit(3, 0);  // Evicts (0, 0), the oldest admission.
+  EXPECT_FALSE(window.Contains(0, 0));
+  EXPECT_TRUE(window.Contains(1, 0));
+  EXPECT_TRUE(window.Contains(2, 0));
+  EXPECT_TRUE(window.Contains(3, 0));
+  // A forgotten key is admissible again (the epoch check upstream is
+  // what keeps that from double-counting in practice).
+  EXPECT_TRUE(window.Admit(0, 0));
+  EXPECT_FALSE(window.Contains(1, 0));
+}
+
+TEST(DedupTest, DuplicateStormCannotGrowTheWindow) {
+  // The regression: thousands of resends of one already-admitted report
+  // perform zero insertions — size, order and eviction count are all
+  // byte-for-byte unchanged.
+  DedupWindow window(32);
+  for (uint64_t shard = 0; shard < 32; ++shard) window.Admit(shard, 7);
+  const size_t size_before = window.size();
+  const uint64_t evictions_before = window.evictions();
+  for (int resend = 0; resend < 10000; ++resend) {
+    EXPECT_FALSE(window.Admit(5, 7));
+  }
+  EXPECT_EQ(window.size(), size_before);
+  EXPECT_EQ(window.evictions(), evictions_before);
+  // And the storm did not evict anyone else's key.
+  for (uint64_t shard = 0; shard < 32; ++shard) {
+    EXPECT_TRUE(window.Contains(shard, 7));
+  }
+}
+
+TEST(DedupTest, CapacityOneStillDedupsConsecutiveRetries) {
+  DedupWindow window(1);
+  EXPECT_TRUE(window.Admit(4, 4));
+  EXPECT_FALSE(window.Admit(4, 4));
+  EXPECT_TRUE(window.Admit(5, 5));
+  EXPECT_FALSE(window.Contains(4, 4));
+  EXPECT_EQ(window.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mergeable
