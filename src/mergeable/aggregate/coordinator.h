@@ -183,6 +183,16 @@ struct DurableOptions {
   // (0 = log only, never checkpoint; recovery then replays the whole
   // log, which is still exact, just slower).
   uint64_t checkpoint_every = 8;
+  // Retry schedule for transient Storage::Append failures (a disk-full
+  // window that clears, a flaky EIO). max_attempts bounds the tries per
+  // record; the backoff values are virtual time, accumulated in
+  // wal_append_backoff_ms(). A *crashed* storage stays failed for the
+  // whole process lifetime and consumes no write indices while down, so
+  // retrying cannot shift the crash matrix: recovery stays byte-exact.
+  BackoffPolicy append_retry{.max_attempts = 3,
+                             .initial_backoff_ms = 1,
+                             .multiplier = 2.0,
+                             .max_backoff_ms = 16};
 };
 
 // What Recover() reconstructed from storage.
@@ -224,6 +234,11 @@ class Coordinator {
   void set_validator(bool (*validate)(const S&)) { validate_ = validate; }
 
   uint64_t epoch() const { return epoch_; }
+
+  // Cumulative WAL-append retry traffic (transient storage failures
+  // ridden out under DurableOptions::append_retry).
+  uint64_t wal_append_retries() const { return wal_append_retries_; }
+  uint64_t wal_append_backoff_ms() const { return wal_append_backoff_ms_; }
 
   // Moves the coordinator to a new epoch, resetting every per-epoch
   // state: dedup/outcome sets, the partial merge, rejection counters,
@@ -509,10 +524,23 @@ class Coordinator {
   }
 
   // Appends `record` and keeps the durable-record cursor in sync.
+  // Transient append failures are retried under options_.append_retry:
+  // a record only counts as lost once the bounded schedule is
+  // exhausted, so one flaky write no longer aborts the whole epoch.
   bool WalAppend(WalRecord record) {
-    if (!wal_->Append(record)) return false;
-    ++wal_records_;
-    return true;
+    const BackoffPolicy& retry = options_.append_retry;
+    const uint32_t attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+    for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        ++wal_append_retries_;
+        wal_append_backoff_ms_ += retry.BackoffBefore(attempt);
+      }
+      if (wal_->Append(record)) {
+        ++wal_records_;
+        return true;
+      }
+    }
+    return false;
   }
 
   // Marks `result` as crashed in place (no move of the result object:
@@ -705,6 +733,8 @@ class Coordinator {
   uint64_t durable_n_shards_ = 0;
   uint64_t wal_records_ = 0;   // Durable records: replayed + appended.
   uint64_t snapshot_seq_ = 0;  // Last sequence written or seen.
+  uint64_t wal_append_retries_ = 0;
+  uint64_t wal_append_backoff_ms_ = 0;  // Virtual backoff accumulated.
 };
 
 // Worker-side convenience: encodes `summary` into a framed report for

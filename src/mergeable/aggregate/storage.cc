@@ -9,10 +9,25 @@ namespace mergeable {
 bool MemStorage::CommitWrite(const std::string& file,
                              const std::vector<uint8_t>& bytes, bool append) {
   if (crashed_) return false;
+  if (transient_faults_pending_ > 0) {
+    // A transient fault consumes no write index: the syscall failed
+    // before any byte reached the medium, so a retry replays the exact
+    // same durable write sequence the crash matrix enumerated.
+    --transient_faults_pending_;
+    ++stats_.transient_failures;
+    return false;
+  }
   const uint64_t index = writes_attempted_++;
   const bool fires =
       crash_.mode != CrashMode::kNone && index == crash_.write_index;
   if (fires && crash_.mode == CrashMode::kBeforeWrite) {
+    crashed_ = true;
+    return false;
+  }
+  if (fires && crash_.mode == CrashMode::kTornWrite && !append) {
+    // Rewrite is write-temp-then-rename: a crash mid-write tears the
+    // temp file, the rename never happens, and the old contents (or the
+    // file's absence) survive untouched.
     crashed_ = true;
     return false;
   }
@@ -23,6 +38,8 @@ bool MemStorage::CommitWrite(const std::string& file,
     if (!durable.empty()) durable.resize(SplitMix64(state) % durable.size());
   }
   if (fires && crash_.mode == CrashMode::kCorruptWrite) {
+    // For a rewrite this models media rot just after the rename: the
+    // new contents are in place but one bit is flipped.
     ApplyBitFlip(durable, SplitMix64(state));
   }
   std::vector<uint8_t>& destination = files_[file];
@@ -42,6 +59,7 @@ bool MemStorage::CommitWrite(const std::string& file,
 
 bool MemStorage::Append(const std::string& file,
                         const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   const bool ok = CommitWrite(file, bytes, /*append=*/true);
   if (ok) {
     ++stats_.appends;
@@ -52,6 +70,7 @@ bool MemStorage::Append(const std::string& file,
 
 bool MemStorage::Rewrite(const std::string& file,
                          const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   const bool ok = CommitWrite(file, bytes, /*append=*/false);
   if (ok) {
     ++stats_.rewrites;
@@ -61,6 +80,7 @@ bool MemStorage::Rewrite(const std::string& file,
 }
 
 bool MemStorage::Truncate(const std::string& file, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return false;
   const uint64_t index = writes_attempted_++;
   const bool fires =
@@ -85,21 +105,45 @@ bool MemStorage::Truncate(const std::string& file, uint64_t size) {
 
 std::optional<std::vector<uint8_t>> MemStorage::Read(
     const std::string& file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<std::string> MemStorage::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, bytes] : files_) names.push_back(name);
   return names;  // std::map iteration is already sorted.
 }
 
+bool MemStorage::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
 void MemStorage::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
   crashed_ = false;
   crash_ = CrashPoint{};
+  transient_faults_pending_ = 0;
+}
+
+uint64_t MemStorage::writes_attempted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_attempted_;
+}
+
+StorageStats MemStorage::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemStorage::FailNextWrites(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_faults_pending_ = count;
 }
 
 }  // namespace mergeable

@@ -6,16 +6,21 @@
 // partially merged summary (snapshot.h). Storage is deliberately tiny —
 // named byte files with append, full rewrite, truncate and read — so a
 // real backend (a local file system, a replicated log) can slot in
-// without touching the recovery logic.
+// without touching the recovery logic. FileStorage (file_storage.h) is
+// the POSIX backend; MemStorage is the in-memory one.
 //
-// MemStorage is the in-memory implementation the tests and benchmarks
-// use. It models the failure modes that matter for crash recovery via a
-// CrashPoint schedule (fault.h): the process can die immediately before
-// a write (nothing persists), during it (a torn prefix persists),
-// just after it (everything persists but the writer never learns), or
-// the final sector can persist bit-flipped. After a simulated crash
-// every further write fails; Restart() models the process coming back
-// up and finding exactly the bytes that were durable.
+// Both backends implement CrashableStorage: they model the failure
+// modes that matter for crash recovery via a CrashPoint schedule
+// (fault.h). The process can die immediately before a write (nothing
+// persists), during it (a torn prefix persists), just after it
+// (everything persists but the writer never learns), or the final
+// write can persist bit-flipped. Rewrite is atomic-rename on both
+// backends, so a crash during a rewrite leaves the OLD contents intact
+// (the torn temp file is never renamed into place); only a corrupt
+// crash leaves the new contents bit-flipped, modeling media rot after
+// the rename. After a simulated crash every further write fails;
+// Restart() models the process coming back up and finding exactly the
+// bytes that were durable.
 
 #ifndef MERGEABLE_AGGREGATE_STORAGE_H_
 #define MERGEABLE_AGGREGATE_STORAGE_H_
@@ -23,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,9 +48,10 @@ class Storage {
   virtual bool Append(const std::string& file,
                       const std::vector<uint8_t>& bytes) = 0;
 
-  // Replaces the named file's contents. The replace is atomic on a
-  // healthy backend; a crash during the write may leave a torn file,
-  // which is why snapshot files are versioned rather than overwritten.
+  // Replaces the named file's contents. The replace is atomic (write a
+  // temp file, then rename): readers see either the old contents or the
+  // new ones, never a mix, and a crash mid-rewrite leaves the old file
+  // untouched.
   virtual bool Rewrite(const std::string& file,
                        const std::vector<uint8_t>& bytes) = 0;
 
@@ -68,15 +75,56 @@ struct StorageStats {
   uint64_t truncates = 0;
   uint64_t bytes_appended = 0;
   uint64_t bytes_rewritten = 0;
+  // Writes that failed transiently (injected EIO/ENOSPC/short write)
+  // without killing the process. Retry loops make these recoverable.
+  uint64_t transient_failures = 0;
 };
 
-class MemStorage : public Storage {
+// A Storage whose failure surface the crash-matrix tests can drive:
+// a scheduled crash point, restart semantics, and a durable-write
+// counter a dry run reads to enumerate every crash boundary. Both
+// MemStorage and FileStorage implement this, so every recovery suite
+// runs unchanged against either backend.
+class CrashableStorage : public Storage {
+ public:
+  // True once the crash point has fired: the process is "dead" and every
+  // write fails until Restart().
+  virtual bool crashed() const = 0;
+
+  // Simulates the process coming back up: writes work again, the durable
+  // bytes are exactly what survived the crash, and the consumed crash
+  // schedule is cleared.
+  virtual void Restart() = 0;
+
+  // Durable write operations attempted so far. A dry run reads this to
+  // enumerate every crash boundary for the crash-matrix test. Transient
+  // injected failures and post-crash writes do not consume indices, so
+  // a retry loop cannot shift the crash schedule.
+  virtual uint64_t writes_attempted() const = 0;
+
+  virtual StorageStats stats() const = 0;
+};
+
+class MemStorage : public CrashableStorage {
  public:
   // A storage that never fails.
   MemStorage() = default;
   // A storage that crashes at `crash` (see fault.h). The schedule fires
   // once; Restart() clears it along with the crashed state.
   explicit MemStorage(CrashPoint crash) : crash_(crash) {}
+
+  // Copying snapshots the full state (benchmarks fork sealed storage
+  // into fresh cold copies); the mutex itself is not copied.
+  MemStorage(const MemStorage& other) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    files_ = other.files_;
+    crash_ = other.crash_;
+    crashed_ = other.crashed_;
+    writes_attempted_ = other.writes_attempted_;
+    transient_faults_pending_ = other.transient_faults_pending_;
+    stats_ = other.stats_;
+  }
+  MemStorage& operator=(const MemStorage&) = delete;
 
   bool Append(const std::string& file,
               const std::vector<uint8_t>& bytes) override;
@@ -87,20 +135,15 @@ class MemStorage : public Storage {
       const std::string& file) const override;
   std::vector<std::string> List() const override;
 
-  // True once the crash point has fired: the process is "dead" and every
-  // write fails until Restart().
-  bool crashed() const { return crashed_; }
+  bool crashed() const override;
+  void Restart() override;
+  uint64_t writes_attempted() const override;
+  StorageStats stats() const override;
 
-  // Simulates the process coming back up: writes work again, the durable
-  // bytes are exactly what survived the crash, and the consumed crash
-  // schedule is cleared.
-  void Restart();
-
-  // Durable write operations completed so far. A dry run reads this to
-  // enumerate every crash boundary for the crash-matrix test.
-  uint64_t writes_attempted() const { return writes_attempted_; }
-
-  const StorageStats& stats() const { return stats_; }
+  // The next `count` Append/Rewrite calls fail cleanly — nothing reaches
+  // the medium, the process stays alive, and no write index is consumed —
+  // modeling a transient EIO/ENOSPC window a retry loop can ride out.
+  void FailNextWrites(uint64_t count);
 
  private:
   // Returns false (and marks the process crashed) when the scheduled
@@ -110,10 +153,12 @@ class MemStorage : public Storage {
   bool CommitWrite(const std::string& file, const std::vector<uint8_t>& bytes,
                    bool append);
 
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<uint8_t>> files_;
   CrashPoint crash_;
   bool crashed_ = false;
   uint64_t writes_attempted_ = 0;
+  uint64_t transient_faults_pending_ = 0;
   StorageStats stats_;
 };
 

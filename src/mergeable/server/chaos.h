@@ -21,6 +21,7 @@
 #define MERGEABLE_SERVER_CHAOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mergeable/aggregate/coordinator.h"
@@ -40,6 +41,7 @@ struct ChaosPhase {
   uint64_t items_per_shard = 64;  // Items each shard feeds its summary.
   uint32_t duplicate_sends = 0;   // Extra verbatim resends per report.
   bool churn = false;             // Reconnect before every shard's send.
+  bool disk_full = false;  // Fail durable writes for this phase's seals.
 };
 
 struct ChaosScript {
@@ -61,6 +63,7 @@ struct ChaosOutcome {
   uint64_t duplicate_verdicts = 0;
   uint64_t retry_after_nacks = 0;
   uint64_t reconnects = 0;
+  uint64_t disk_full_phases = 0;  // Phases driven with disk_full set.
 };
 
 // A client that opens a connection and then misbehaves — the two slow
@@ -86,13 +89,23 @@ class StalledConnection {
 // Runs `script` against the server at `port`. `fill(epoch, shard,
 // items)` builds shard-distinct summary content; mass is read back from
 // the summary (types without n() contribute zero mass).
+//
+// `set_disk_full` (optional) is the backend-fault hook for disk-full
+// scripting: invoked with each phase's `disk_full` flag before its
+// traffic (typically toggling a FaultFd sticky ENOSPC or
+// MemStorage::FailNextWrites on the service's durable storage), so a
+// script can carry the server into and back out of disk pressure
+// deterministically.
 template <WireSummary S, typename FillFn>
 ChaosOutcome DriveChaos(uint16_t port, const ChaosScript& script,
-                        const BackoffPolicy& policy, FillFn fill) {
+                        const BackoffPolicy& policy, FillFn fill,
+                        std::function<void(bool)> set_disk_full = {}) {
   ChaosOutcome out;
   const FaultPlan plan(script.faults, script.seed);
   IngestClient client(port);
   for (const ChaosPhase& phase : script.phases) {
+    if (set_disk_full) set_disk_full(phase.disk_full);
+    if (phase.disk_full) ++out.disk_full_phases;
     for (uint64_t shard = 0; shard < phase.shards; ++shard) {
       if (phase.churn) client.Reconnect();
 

@@ -23,6 +23,23 @@
 // cover cannot afford yields a partial answer with a widened bound, not
 // a stalled connection.
 //
+// Disk pressure (StoreT = DurableStore<S>): when a seal fails because
+// the durable backend rejected the append (ENOSPC, EIO), the service
+// enters a degraded mode — queries keep serving from what is already
+// durable, new reports are shed through the admission path's
+// retry-after NACK (the client's backoff policy already honors it), and
+// the failed seal is buffered for in-order retry on the next seal tick.
+// Every byte of shed mass shows up as lost mass when its epoch finally
+// seals: offered_n counts what the shards tried to send, and a shed
+// report simply never arrives. When the bounded retry buffer overflows,
+// the overflowing epochs keep their slot but drop their payload (sealed
+// as an empty summary whose whole offered mass is lost) so the epoch
+// axis stays contiguous under arbitrarily long outages at O(1) memory
+// per epoch. The empty-summary factory also repairs a long-standing
+// wedge: an epoch that received no reports at all can now seal a
+// zero-coverage placeholder instead of permanently blocking the store's
+// contiguous epoch axis.
+//
 // Thread safety: HandleReport/HandleQuery run on server worker threads;
 // a single mutex serializes them with SealEpoch (the store's own
 // contract requires sealing serialized with queries anyway).
@@ -31,6 +48,8 @@
 #define MERGEABLE_SERVER_EPOCH_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -57,25 +76,54 @@ struct EpochServiceConfig {
   // budget; 0 disables deadline enforcement (tests crank it up to force
   // partial answers deterministically).
   uint64_t query_cost_per_node_ms = 0;
+  // Retry-after hint NACKed to reporters while the durable backend is
+  // failing writes (storage-degraded mode).
+  uint64_t storage_retry_after_ms = 50;
+  // Failed seals buffered with their full payload for in-order retry;
+  // beyond this, buffered epochs degrade to empty placeholders (their
+  // mass is accounted as lost, to the byte).
+  size_t max_buffered_seals = 16;
 };
 
 struct EpochServiceStats {
   uint64_t reports_accepted = 0;
   uint64_t reports_duplicate = 0;
   uint64_t reports_rejected = 0;  // Malformed / misrouted shard or epoch.
+  uint64_t reports_shed_storage = 0;  // Retry-after NACKs while degraded.
   uint64_t queries_answered = 0;
   uint64_t queries_partial = 0;
   uint64_t queries_refused = 0;  // Unknown stream / unsealed range.
+  uint64_t storage_seal_failures = 0;  // Seal attempts the backend refused.
+  uint64_t storage_recoveries = 0;     // Degraded -> healthy transitions.
+  uint64_t epochs_sealed_empty = 0;    // Zero-report placeholder seals.
+  uint64_t seals_degraded_to_empty = 0;  // Buffer-overflow payload drops.
 };
 
-template <WireSummary S>
+template <WireSummary S, typename StoreT = SummaryStore<S>>
 class EpochService : public FrameHandler {
  public:
-  EpochService(SummaryStore<S>* store, EpochServiceConfig config)
+  EpochService(StoreT* store, EpochServiceConfig config)
       : store_(store), config_(config), dedup_(config.dedup_capacity) {
     MERGEABLE_CHECK_MSG(store != nullptr, "EpochService needs a store");
     MERGEABLE_CHECK_MSG(config.shards_per_epoch >= 1,
                         "EpochService needs at least one shard");
+    // Warm restart: when the store already holds sealed epochs (a
+    // DurableStore reopened from disk), resume the epoch axis where it
+    // left off instead of rejecting the store's own history.
+    if (store->HasStream(config_.stream)) {
+      next_epoch_ = store->BaseEpoch(config_.stream) +
+                    store->EpochCount(config_.stream);
+    }
+  }
+
+  // Installs the maker of empty (zero-mass) summaries used for
+  // placeholder seals: zero-report epochs and buffer-overflow
+  // degradation. Without one, a zero-report epoch is skipped (the
+  // pre-durability behavior) and overflowing buffered seals keep their
+  // payloads in memory.
+  void set_empty_summary_factory(std::function<S()> factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    empty_summary_ = std::move(factory);
   }
 
   std::vector<uint8_t> HandleReport(
@@ -98,6 +146,16 @@ class EpochService : public FrameHandler {
       // resending cannot help either one.
       control.code = ControlCode::kRejected;
       ++stats_.reports_rejected;
+      return EncodeControlFrame(control);
+    }
+    if (storage_degraded_) {
+      // Disk pressure: shed before dedup admission so the client's
+      // retry (post-backoff) is not misclassified as a duplicate. The
+      // shard keeps the report; its mass is only lost if the epoch
+      // seals before the disk recovers — and then it is counted lost.
+      control.code = ControlCode::kRetryAfter;
+      control.retry_after_ms = config_.storage_retry_after_ms;
+      ++stats_.reports_shed_storage;
       return EncodeControlFrame(control);
     }
     if (!dedup_.Admit(report->shard_id, report->epoch)) {
@@ -140,7 +198,7 @@ class EpochService : public FrameHandler {
     QueryDeadline deadline;
     if (query->deadline_ms != 0) deadline.budget_ms = query->deadline_ms;
     deadline.cost_per_node_ms = config_.query_cost_per_node_ms;
-    std::optional<typename SummaryStore<S>::RangeOutcome> outcome =
+    std::optional<typename StoreT::RangeOutcome> outcome =
         query->stream == config_.stream
             ? store_->QueryRangePayloadBounded(query->stream, query->t1,
                                                query->t2, deadline)
@@ -174,9 +232,14 @@ class EpochService : public FrameHandler {
   // to Coordinator::RunDurable over the same payloads. `offered_n` is
   // the total mass the shards tried to send (what the chaos harness
   // knows it offered); everything that did not arrive — shed, dropped,
-  // never sent — becomes lost mass. Returns false when nothing arrived
-  // for the epoch (zero coverage seals nothing, same as the
-  // coordinator) or a storage write failed.
+  // never sent — becomes lost mass.
+  //
+  // A storage-refused seal is buffered (in epoch order) and retried at
+  // the head of the next SealEpoch call; while any seal is buffered the
+  // service is storage-degraded and sheds reports with retry-after.
+  // Returns true when everything through `epoch` is durably sealed;
+  // false when this epoch is skipped (zero reports, no empty-summary
+  // factory) or still buffered behind a failing disk.
   bool SealEpoch(uint64_t epoch, uint64_t offered_n) {
     std::lock_guard<std::mutex> lock(mu_);
     MERGEABLE_CHECK_MSG(epoch >= next_epoch_,
@@ -198,8 +261,27 @@ class EpochService : public FrameHandler {
     // (HandleReport rejects them), so their pending state is dead.
     pending_.erase(pending_.begin(), pending_.upper_bound(epoch));
     next_epoch_ = epoch + 1;
-    if (!result.summary.has_value()) return false;
-    return store_->SealResult(config_.stream, epoch, result, offered_n);
+    if (!result.summary.has_value()) {
+      // Zero reports. Skipping keeps pre-durability behavior, but once
+      // the store holds epochs (or earlier seals are queued) a gap
+      // would wedge the contiguous epoch axis — seal a placeholder.
+      const bool gap_matters =
+          !buffered_seals_.empty() || store_->HasStream(config_.stream);
+      if (!empty_summary_ || !gap_matters) return false;
+      result.summary = CanonicalForm(empty_summary_());
+      ++stats_.epochs_sealed_empty;
+    }
+    buffered_seals_.push_back(
+        BufferedSeal{epoch, std::move(result), offered_n});
+    TrimBufferLocked();
+    const bool drained = DrainBufferLocked();
+    if (drained && storage_degraded_) {
+      storage_degraded_ = false;
+      ++stats_.storage_recoveries;
+    } else if (!drained) {
+      storage_degraded_ = true;
+    }
+    return drained;
   }
 
   uint64_t next_epoch() const {
@@ -224,9 +306,54 @@ class EpochService : public FrameHandler {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
+  bool storage_degraded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return storage_degraded_;
+  }
+  size_t buffered_seals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffered_seals_.size();
+  }
 
  private:
-  SummaryStore<S>* store_;
+  struct BufferedSeal {
+    uint64_t epoch = 0;
+    AggregationResult<S> result;
+    uint64_t offered_n = 0;
+  };
+
+  // Beyond the buffer cap, drop payloads (oldest kept intact — they
+  // seal first) down to empty placeholders: the epoch keeps its slot on
+  // the axis, its whole offered mass becomes lost mass, and memory per
+  // outage epoch is O(1).
+  void TrimBufferLocked() {
+    if (!empty_summary_) return;
+    for (size_t i = config_.max_buffered_seals; i < buffered_seals_.size();
+         ++i) {
+      BufferedSeal& seal = buffered_seals_[i];
+      if (seal.result.shards_received == 0) continue;  // Already empty.
+      seal.result.summary = CanonicalForm(empty_summary_());
+      seal.result.shards_received = 0;
+      ++stats_.seals_degraded_to_empty;
+    }
+  }
+
+  // Seals buffered epochs in order; stops at the first storage refusal
+  // so the store's contiguity is preserved. True when the buffer drains.
+  bool DrainBufferLocked() {
+    while (!buffered_seals_.empty()) {
+      BufferedSeal& seal = buffered_seals_.front();
+      if (!store_->SealResult(config_.stream, seal.epoch, seal.result,
+                              seal.offered_n)) {
+        ++stats_.storage_seal_failures;
+        return false;
+      }
+      buffered_seals_.pop_front();
+    }
+    return true;
+  }
+
+  StoreT* store_;
   EpochServiceConfig config_;
 
   mutable std::mutex mu_;
@@ -236,6 +363,9 @@ class EpochService : public FrameHandler {
   std::map<uint64_t, std::map<uint64_t, S>> pending_;
   uint64_t next_epoch_ = 0;
   EpochServiceStats stats_;
+  std::function<S()> empty_summary_;
+  std::deque<BufferedSeal> buffered_seals_;
+  bool storage_degraded_ = false;
 };
 
 }  // namespace mergeable

@@ -26,6 +26,7 @@
 #include "mergeable/stream/generators.h"
 #include "mergeable/stream/partition.h"
 #include "mergeable/util/bytes.h"
+#include "storage_backends.h"
 
 namespace mergeable {
 namespace {
@@ -63,10 +64,12 @@ std::vector<uint8_t> EncodedBytes(const S& summary) {
 }
 
 // Builds one report frame per shard with `worker` (shard -> summary) and
-// plays the whole crash matrix for summary type S. `kDeadShard` never
-// answers, so the matrix also crosses kShardLost records.
+// plays the whole crash matrix for summary type S over `factory`'s
+// backend. `kDeadShard` never answers, so the matrix also crosses
+// kShardLost records.
 template <typename S, typename WorkerFn>
-void RunCrashMatrix(const char* type_name, WorkerFn worker) {
+void RunCrashMatrix(const char* type_name, BackendFactory& factory,
+                    WorkerFn worker) {
   const auto shards = MatrixShards();
   std::vector<std::vector<uint8_t>> frames;
   frames.reserve(kShards);
@@ -89,19 +92,19 @@ void RunCrashMatrix(const char* type_name, WorkerFn worker) {
   options.checkpoint_every = 2;
 
   // Reference: an uninterrupted durable run.
-  MemStorage reference_storage;
+  auto reference_storage = factory.Make();
   Coordinator<S> reference(kEpoch, MatrixPolicy(),
                            MergeTopology::kLeftDeepChain);
   SimulatedTransport reference_transport = make_transport();
   const auto reference_result = reference.RunDurable(
-      reference_transport, kShards, &reference_storage, options);
+      reference_transport, kShards, reference_storage.get(), options);
   ASSERT_FALSE(reference_result.crashed);
   ASSERT_TRUE(reference_result.summary.has_value());
   ASSERT_EQ(reference_result.shards_received, kShards - 1);
   ASSERT_EQ(reference_result.summary->n(), live_mass);
   const std::vector<uint8_t> reference_bytes =
       EncodedBytes(*reference_result.summary);
-  const uint64_t total_writes = reference_storage.writes_attempted();
+  const uint64_t total_writes = reference_storage->writes_attempted();
   // Epoch begin + a record per shard + one snapshot per two received.
   ASSERT_GE(total_writes, 1 + kShards);
 
@@ -109,19 +112,19 @@ void RunCrashMatrix(const char* type_name, WorkerFn worker) {
     SCOPED_TRACE(std::string(type_name) + ": crash " + ToString(point.mode) +
                  " at write " + std::to_string(point.write_index));
 
-    MemStorage storage(point);
+    auto storage = factory.Make(point);
     Coordinator<S> first(kEpoch, MatrixPolicy(),
                          MergeTopology::kLeftDeepChain);
     SimulatedTransport crash_transport = make_transport();
     const auto crashed =
-        first.RunDurable(crash_transport, kShards, &storage, options);
+        first.RunDurable(crash_transport, kShards, storage.get(), options);
     ASSERT_TRUE(crashed.crashed);
-    ASSERT_TRUE(storage.crashed());
+    ASSERT_TRUE(storage->crashed());
 
-    storage.Restart();
+    storage->Restart();
     Coordinator<S> second(kEpoch, MatrixPolicy(),
                           MergeTopology::kLeftDeepChain);
-    const RecoveryInfo info = second.Recover(&storage, options);
+    const RecoveryInfo info = second.Recover(storage.get(), options);
     // Dedup by (shard, epoch) makes replay exactly-once: nothing in the
     // durable state may ever merge twice.
     EXPECT_EQ(info.duplicates_ignored, 0u);
@@ -141,19 +144,26 @@ void RunCrashMatrix(const char* type_name, WorkerFn worker) {
   }
 }
 
-TEST(CrashMatrixTest, SpaceSavingSurvivesEveryCrashPoint) {
+class CrashMatrixBackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  CrashMatrixBackendTest() : factory_(GetParam()) {}
+  BackendFactory factory_;
+};
+
+TEST_P(CrashMatrixBackendTest, SpaceSavingSurvivesEveryCrashPoint) {
   RunCrashMatrix<SpaceSaving>(
-      "SpaceSaving", [](size_t, const std::vector<uint64_t>& items) {
+      "SpaceSaving", factory_,
+      [](size_t, const std::vector<uint64_t>& items) {
         SpaceSaving summary = SpaceSaving::ForEpsilon(0.02);
         for (uint64_t item : items) summary.Update(item);
         return summary;
       });
 }
 
-TEST(CrashMatrixTest, MergeableQuantilesSurvivesEveryCrashPoint) {
+TEST_P(CrashMatrixBackendTest, MergeableQuantilesSurvivesEveryCrashPoint) {
   RunCrashMatrix<MergeableQuantiles>(
-      "MergeableQuantiles", [](size_t shard,
-                               const std::vector<uint64_t>& items) {
+      "MergeableQuantiles", factory_,
+      [](size_t shard, const std::vector<uint64_t>& items) {
         MergeableQuantiles summary =
             MergeableQuantiles::ForEpsilon(0.05, 100 + shard);
         for (uint64_t item : items) {
@@ -163,14 +173,94 @@ TEST(CrashMatrixTest, MergeableQuantilesSurvivesEveryCrashPoint) {
       });
 }
 
-TEST(CrashMatrixTest, CountMinSurvivesEveryCrashPoint) {
+TEST_P(CrashMatrixBackendTest, CountMinSurvivesEveryCrashPoint) {
   RunCrashMatrix<CountMinSketch>(
-      "CountMin", [](size_t, const std::vector<uint64_t>& items) {
+      "CountMin", factory_, [](size_t, const std::vector<uint64_t>& items) {
         CountMinSketch summary =
             CountMinSketch::ForEpsilonDelta(0.01, 0.01, /*seed=*/42);
         for (uint64_t item : items) summary.Update(item);
         return summary;
       });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CrashMatrixBackendTest,
+                         ::testing::Values(BackendKind::kMem,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return BackendName(info.param);
+                         });
+
+// Transient storage faults (EIO/ENOSPC windows) must ride out on the
+// coordinator's bounded append retry without perturbing the durable
+// byte stream: the result is byte-identical to a fault-free run, and
+// the retry counters record exactly what happened.
+TEST(RecoveryTest, TransientAppendFaultsRideOutOnRetry) {
+  const auto shards = MatrixShards();
+  const auto make_transport = [&shards]() {
+    SimulatedTransport transport{FaultPlan()};
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      SpaceSaving summary = SpaceSaving::ForEpsilon(0.02);
+      for (uint64_t item : shards[shard]) summary.Update(item);
+      transport.Submit(shard, MakeReportFrame(summary, shard, kEpoch));
+    }
+    return transport;
+  };
+
+  MemStorage reference_storage;
+  Coordinator<SpaceSaving> reference(kEpoch, MatrixPolicy(),
+                                     MergeTopology::kLeftDeepChain);
+  SimulatedTransport reference_transport = make_transport();
+  const auto reference_result = reference.RunDurable(
+      reference_transport, kShards, &reference_storage, DurableOptions{});
+  ASSERT_FALSE(reference_result.crashed);
+  EXPECT_EQ(reference.wal_append_retries(), 0u);
+
+  MemStorage storage;
+  storage.FailNextWrites(2);  // First append fails twice, then lands.
+  DurableOptions options;
+  options.append_retry.max_attempts = 3;
+  options.append_retry.initial_backoff_ms = 0;
+  Coordinator<SpaceSaving> faulted(kEpoch, MatrixPolicy(),
+                                   MergeTopology::kLeftDeepChain);
+  SimulatedTransport transport = make_transport();
+  const auto result =
+      faulted.RunDurable(transport, kShards, &storage, options);
+  ASSERT_FALSE(result.crashed);
+  ASSERT_TRUE(result.summary.has_value());
+  EXPECT_EQ(faulted.wal_append_retries(), 2u);
+  EXPECT_EQ(storage.stats().transient_failures, 2u);
+  // Identical durable bytes and identical answer: retries are invisible
+  // to the crash matrix and to every reader.
+  EXPECT_EQ(EncodedBytes(*result.summary),
+            EncodedBytes(*reference_result.summary));
+  EXPECT_EQ(*storage.Read("wal"), *reference_storage.Read("wal"));
+  EXPECT_EQ(storage.writes_attempted(),
+            reference_storage.writes_attempted());
+}
+
+// When the fault window outlasts the retry budget, the run reports a
+// crash (the caller's recovery machinery takes over) instead of
+// silently losing the record.
+TEST(RecoveryTest, ExhaustedAppendRetriesFailTheRun) {
+  const auto shards = MatrixShards();
+  MemStorage storage;
+  storage.FailNextWrites(100);  // Outlasts any bounded retry.
+  DurableOptions options;
+  options.append_retry.max_attempts = 3;
+  options.append_retry.initial_backoff_ms = 0;
+  Coordinator<SpaceSaving> coordinator(kEpoch, MatrixPolicy(),
+                                       MergeTopology::kLeftDeepChain);
+  SimulatedTransport transport{FaultPlan()};
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    SpaceSaving summary = SpaceSaving::ForEpsilon(0.02);
+    for (uint64_t item : shards[shard]) summary.Update(item);
+    transport.Submit(shard, MakeReportFrame(summary, shard, kEpoch));
+  }
+  const auto result =
+      coordinator.RunDurable(transport, kShards, &storage, options);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_EQ(coordinator.wal_append_retries(), 2u);
+  EXPECT_EQ(storage.writes_attempted(), 0u);  // Nothing ever landed.
 }
 
 // A crash that predates the first durable write leaves nothing behind;

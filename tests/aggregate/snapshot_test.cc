@@ -1,4 +1,5 @@
-// Snapshot codec hardening and newest-valid-wins selection.
+// Snapshot codec hardening and newest-valid-wins selection. The
+// storage-scanning tests run over both backends.
 
 #include <cstdint>
 #include <vector>
@@ -7,6 +8,7 @@
 
 #include "mergeable/aggregate/snapshot.h"
 #include "mergeable/aggregate/storage.h"
+#include "storage_backends.h"
 
 namespace mergeable {
 namespace {
@@ -68,33 +70,39 @@ TEST(SnapshotTest, RejectsUnsortedShardSets) {
   EXPECT_FALSE(DecodeSnapshot(bytes).has_value());
 }
 
-TEST(SnapshotTest, EmptyStorageScanFindsNothing) {
-  MemStorage storage;
-  const SnapshotScan scan = LoadLatestSnapshot(storage);
+class SnapshotBackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  SnapshotBackendTest() : factory_(GetParam()) {}
+  BackendFactory factory_;
+};
+
+TEST_P(SnapshotBackendTest, EmptyStorageScanFindsNothing) {
+  auto storage = factory_.Make();
+  const SnapshotScan scan = LoadLatestSnapshot(*storage);
   EXPECT_FALSE(scan.found);
   EXPECT_EQ(scan.max_seq_seen, 0u);
 }
 
-TEST(SnapshotTest, NewestValidSnapshotWins) {
-  MemStorage storage;
-  ASSERT_TRUE(WriteSnapshotFile(&storage, 1, MakeSnapshot(1)));
-  ASSERT_TRUE(WriteSnapshotFile(&storage, 2, MakeSnapshot(2)));
-  const SnapshotScan scan = LoadLatestSnapshot(storage);
+TEST_P(SnapshotBackendTest, NewestValidSnapshotWins) {
+  auto storage = factory_.Make();
+  ASSERT_TRUE(WriteSnapshotFile(storage.get(), 1, MakeSnapshot(1)));
+  ASSERT_TRUE(WriteSnapshotFile(storage.get(), 2, MakeSnapshot(2)));
+  const SnapshotScan scan = LoadLatestSnapshot(*storage);
   ASSERT_TRUE(scan.found);
   EXPECT_EQ(scan.seq, 2u);
   EXPECT_EQ(scan.snapshot.epoch, 2u);
   EXPECT_EQ(scan.max_seq_seen, 2u);
 }
 
-TEST(SnapshotTest, FallsBackPastTornNewestFile) {
-  MemStorage storage;
-  ASSERT_TRUE(WriteSnapshotFile(&storage, 1, MakeSnapshot(1)));
+TEST_P(SnapshotBackendTest, FallsBackPastTornNewestFile) {
+  auto storage = factory_.Make();
+  ASSERT_TRUE(WriteSnapshotFile(storage.get(), 1, MakeSnapshot(1)));
   // Sequence 2 is torn: only half its bytes reached storage.
   const auto full = EncodeSnapshot(MakeSnapshot(2));
-  ASSERT_TRUE(storage.Rewrite(
+  ASSERT_TRUE(storage->Rewrite(
       SnapshotFileName(2),
       std::vector<uint8_t>(full.begin(), full.begin() + full.size() / 2)));
-  const SnapshotScan scan = LoadLatestSnapshot(storage);
+  const SnapshotScan scan = LoadLatestSnapshot(*storage);
   ASSERT_TRUE(scan.found);
   EXPECT_EQ(scan.seq, 1u);
   EXPECT_EQ(scan.snapshot.epoch, 1u);
@@ -103,14 +111,21 @@ TEST(SnapshotTest, FallsBackPastTornNewestFile) {
   EXPECT_EQ(scan.max_seq_seen, 2u);
 }
 
-TEST(SnapshotTest, IgnoresUnrelatedFiles) {
-  MemStorage storage;
-  ASSERT_TRUE(storage.Append("wal", {1, 2, 3}));
-  ASSERT_TRUE(WriteSnapshotFile(&storage, 3, MakeSnapshot(3)));
-  const SnapshotScan scan = LoadLatestSnapshot(storage);
+TEST_P(SnapshotBackendTest, IgnoresUnrelatedFiles) {
+  auto storage = factory_.Make();
+  ASSERT_TRUE(storage->Append("wal", {1, 2, 3}));
+  ASSERT_TRUE(WriteSnapshotFile(storage.get(), 3, MakeSnapshot(3)));
+  const SnapshotScan scan = LoadLatestSnapshot(*storage);
   ASSERT_TRUE(scan.found);
   EXPECT_EQ(scan.seq, 3u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, SnapshotBackendTest,
+                         ::testing::Values(BackendKind::kMem,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return BackendName(info.param);
+                         });
 
 }  // namespace
 }  // namespace mergeable

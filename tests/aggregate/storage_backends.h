@@ -1,0 +1,72 @@
+// Backend parameterization for the crash-matrix test suites: every
+// storage-semantics test runs twice, once over MemStorage (the model)
+// and once over FileStorage on a fresh temp directory (the real POSIX
+// implementation). The two must expose the *same* crash surface — same
+// write indices, same torn/corrupt/after semantics, same transient
+// fault behavior — or the recovery proofs only hold for the model.
+
+#ifndef MERGEABLE_TESTS_AGGREGATE_STORAGE_BACKENDS_H_
+#define MERGEABLE_TESTS_AGGREGATE_STORAGE_BACKENDS_H_
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "mergeable/aggregate/fault.h"
+#include "mergeable/aggregate/file_storage.h"
+#include "mergeable/aggregate/storage.h"
+
+namespace mergeable {
+
+enum class BackendKind { kMem, kFile };
+
+inline const char* BackendName(BackendKind kind) {
+  return kind == BackendKind::kMem ? "Mem" : "File";
+}
+
+// Makes fresh CrashableStorage instances of one backend kind. File
+// instances each get their own subdirectory of a mkdtemp root (removed
+// on destruction), so a crash-matrix loop that makes a new storage per
+// crash point always starts from clean media.
+class BackendFactory {
+ public:
+  explicit BackendFactory(BackendKind kind) : kind_(kind) {
+    if (kind_ == BackendKind::kFile) {
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "mergeable_bk_XXXXXX")
+              .string();
+      root_ = ::mkdtemp(tmpl.data());
+    }
+  }
+  ~BackendFactory() {
+    if (!root_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(root_, ec);
+    }
+  }
+  BackendFactory(const BackendFactory&) = delete;
+  BackendFactory& operator=(const BackendFactory&) = delete;
+
+  std::unique_ptr<CrashableStorage> Make(CrashPoint crash = {},
+                                         FaultFd* faults = nullptr) {
+    if (kind_ == BackendKind::kMem) {
+      // MemStorage has no syscall layer; FaultFd windows apply to the
+      // file backend only (MemStorage::FailNextWrites is its analogue).
+      return std::make_unique<MemStorage>(crash);
+    }
+    return std::make_unique<FileStorage>(
+        root_ + "/i" + std::to_string(next_++), crash, faults);
+  }
+
+  BackendKind kind() const { return kind_; }
+
+ private:
+  BackendKind kind_;
+  std::string root_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_TESTS_AGGREGATE_STORAGE_BACKENDS_H_

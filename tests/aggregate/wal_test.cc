@@ -1,4 +1,7 @@
-// WAL framing, checksum rejection, and torn-tail detection.
+// WAL framing, checksum rejection, and torn-tail detection. The
+// storage-facing tests run over both backends (MemStorage model and
+// FileStorage on real files); the exhaustive byte-surgery loops stay on
+// the in-memory model — they exercise framing logic, not the medium.
 
 #include <cstdint>
 #include <vector>
@@ -7,6 +10,7 @@
 
 #include "mergeable/aggregate/storage.h"
 #include "mergeable/aggregate/wal.h"
+#include "storage_backends.h"
 
 namespace mergeable {
 namespace {
@@ -21,8 +25,15 @@ WalRecord Report(uint64_t shard, uint64_t epoch,
   return record;
 }
 
-TEST(WalTest, RoundTripsRecordsInOrder) {
-  MemStorage storage;
+class WalBackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  WalBackendTest() : factory_(GetParam()) {}
+  BackendFactory factory_;
+};
+
+TEST_P(WalBackendTest, RoundTripsRecordsInOrder) {
+  auto backend = factory_.Make();
+  CrashableStorage& storage = *backend;
   WalWriter writer(&storage, "wal");
   WalRecord begin;
   begin.type = WalRecordType::kEpochBegin;
@@ -51,13 +62,38 @@ TEST(WalTest, RoundTripsRecordsInOrder) {
   EXPECT_EQ(replay.records[3].shard_id, 1u);
 }
 
-TEST(WalTest, MissingFileIsEmptyUntornLog) {
-  MemStorage storage;
-  const WalReplay replay = ReplayWal(storage, "wal");
+TEST_P(WalBackendTest, MissingFileIsEmptyUntornLog) {
+  auto backend = factory_.Make();
+  const WalReplay replay = ReplayWal(*backend, "wal");
   EXPECT_TRUE(replay.records.empty());
   EXPECT_EQ(replay.valid_bytes, 0u);
   EXPECT_FALSE(replay.torn_tail);
 }
+
+TEST_P(WalBackendTest, WriterStopsCountingOnCrashedAppend) {
+  CrashPoint point;
+  point.mode = CrashMode::kTornWrite;
+  point.write_index = 1;
+  point.mutation_seed = 3;
+  auto backend = factory_.Make(point);
+  CrashableStorage& storage = *backend;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append(Report(0, 1, {1})));
+  EXPECT_FALSE(writer.Append(Report(1, 1, {2})));
+  EXPECT_EQ(writer.records_appended(), 1u);
+
+  storage.Restart();
+  const WalReplay replay = ReplayWal(storage, "wal");
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].shard_id, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WalBackendTest,
+                         ::testing::Values(BackendKind::kMem,
+                                           BackendKind::kFile),
+                         [](const auto& info) {
+                           return BackendName(info.param);
+                         });
 
 TEST(WalTest, TornFinalRecordKeepsValidPrefix) {
   MemStorage storage;
@@ -128,23 +164,6 @@ TEST(WalTest, ChecksumDiffersAcrossRecords) {
   const auto a = EncodeWalRecord(Report(0, 1, {1}));
   const auto b = EncodeWalRecord(Report(1, 1, {1}));
   EXPECT_NE(a, b);
-}
-
-TEST(WalTest, WriterStopsCountingOnCrashedAppend) {
-  CrashPoint point;
-  point.mode = CrashMode::kTornWrite;
-  point.write_index = 1;
-  point.mutation_seed = 3;
-  MemStorage storage(point);
-  WalWriter writer(&storage, "wal");
-  ASSERT_TRUE(writer.Append(Report(0, 1, {1})));
-  EXPECT_FALSE(writer.Append(Report(1, 1, {2})));
-  EXPECT_EQ(writer.records_appended(), 1u);
-
-  storage.Restart();
-  const WalReplay replay = ReplayWal(storage, "wal");
-  ASSERT_EQ(replay.records.size(), 1u);
-  EXPECT_EQ(replay.records[0].shard_id, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// SEG1 record framing: checksum coverage, torn-tail detection, corrupt
+// record skipping, and in-place verification — the integrity layer the
+// durable store and scrubber stand on.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/store/segment.h"
+
+namespace mergeable {
+namespace {
+
+SegmentRecord Record(uint64_t stream, uint32_t level, uint64_t index,
+                     std::initializer_list<uint8_t> payload) {
+  return SegmentRecord{stream, level, index,
+                       std::vector<uint8_t>(payload)};
+}
+
+TEST(SegmentTest, RoundTripsRecordsInOrder) {
+  std::vector<uint8_t> file;
+  for (const auto& record :
+       {Record(1, 0, 0, {1, 2, 3}), Record(1, 0, 1, {}),
+        Record(2, 3, 7, {9, 9, 9, 9})}) {
+    const auto frame = EncodeSegmentRecord(record);
+    file.insert(file.end(), frame.begin(), frame.end());
+  }
+  const SegmentScan scan = ScanSegment(file);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.corrupt_records, 0u);
+  EXPECT_EQ(scan.valid_bytes, file.size());
+  ASSERT_EQ(scan.entries.size(), 3u);
+  EXPECT_TRUE(scan.entries[0].intact);
+  EXPECT_EQ(scan.entries[0].record.stream, 1u);
+  EXPECT_EQ(scan.entries[0].record.level, 0u);
+  EXPECT_EQ(scan.entries[0].record.index, 0u);
+  EXPECT_EQ(scan.entries[0].record.payload, std::vector<uint8_t>({1, 2, 3}));
+  EXPECT_EQ(scan.entries[1].record.payload.size(), 0u);
+  EXPECT_EQ(scan.entries[2].record.stream, 2u);
+  EXPECT_EQ(scan.entries[2].record.level, 3u);
+  EXPECT_EQ(scan.entries[2].record.index, 7u);
+  // Offsets and lengths tile the file exactly.
+  EXPECT_EQ(scan.entries[0].offset, 0u);
+  EXPECT_EQ(scan.entries[1].offset, scan.entries[0].length);
+  EXPECT_EQ(scan.entries[2].offset + scan.entries[2].length, file.size());
+}
+
+TEST(SegmentTest, EmptyFileScansClean) {
+  const SegmentScan scan = ScanSegment({});
+  EXPECT_TRUE(scan.entries.empty());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(SegmentTest, EveryTruncationOfFinalRecordIsTornNeverMisread) {
+  const auto first = EncodeSegmentRecord(Record(1, 0, 0, {1, 2}));
+  const auto second = EncodeSegmentRecord(Record(1, 0, 1, {3, 4, 5}));
+  std::vector<uint8_t> file = first;
+  file.insert(file.end(), second.begin(), second.end());
+
+  for (size_t cut = first.size() + 1; cut < file.size(); ++cut) {
+    const std::vector<uint8_t> torn(file.begin(), file.begin() + cut);
+    const SegmentScan scan = ScanSegment(torn);
+    EXPECT_TRUE(scan.torn_tail) << "cut=" << cut;
+    EXPECT_EQ(scan.valid_bytes, first.size()) << "cut=" << cut;
+    ASSERT_EQ(scan.entries.size(), 1u) << "cut=" << cut;
+    EXPECT_TRUE(scan.entries[0].intact);
+    EXPECT_EQ(scan.entries[0].record.index, 0u);
+  }
+}
+
+TEST(SegmentTest, EveryBitFlipIsCaughtByTheChecksum) {
+  const auto first = EncodeSegmentRecord(Record(1, 0, 0, {1, 2}));
+  const auto second = EncodeSegmentRecord(Record(1, 0, 1, {3, 4, 5, 6}));
+  std::vector<uint8_t> file = first;
+  file.insert(file.end(), second.begin(), second.end());
+
+  for (size_t byte = 0; byte < file.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = file;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      const SegmentScan scan = ScanSegment(flipped);
+      // The flip lands in exactly one record: that record must come
+      // back corrupt (or unframeable — a flip in a magic/length field),
+      // and never as a silently different intact record.
+      uint64_t intact_unchanged = 0;
+      for (const SegmentEntry& entry : scan.entries) {
+        if (!entry.intact) continue;
+        const auto reencoded = EncodeSegmentRecord(entry.record);
+        ASSERT_EQ(
+            std::vector<uint8_t>(file.begin() + entry.offset,
+                                 file.begin() + entry.offset + entry.length),
+            reencoded)
+            << "byte=" << byte << " bit=" << bit;
+        ++intact_unchanged;
+      }
+      EXPECT_LT(intact_unchanged, 2u) << "byte=" << byte << " bit=" << bit;
+      EXPECT_TRUE(scan.torn_tail || scan.corrupt_records > 0)
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
+TEST(SegmentTest, CorruptMiddleRecordIsSkippedNotFatal) {
+  const auto a = EncodeSegmentRecord(Record(1, 0, 0, {1}));
+  const auto b = EncodeSegmentRecord(Record(1, 0, 1, {2}));
+  const auto c = EncodeSegmentRecord(Record(1, 0, 2, {3}));
+  std::vector<uint8_t> file = a;
+  // Flip one payload bit inside the middle record (the last byte before
+  // its trailing checksum is payload).
+  auto rotted = b;
+  rotted[rotted.size() - 9] ^= 0x01;
+  file.insert(file.end(), rotted.begin(), rotted.end());
+  file.insert(file.end(), c.begin(), c.end());
+
+  const SegmentScan scan = ScanSegment(file);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.corrupt_records, 1u);
+  ASSERT_EQ(scan.entries.size(), 3u);
+  EXPECT_TRUE(scan.entries[0].intact);
+  EXPECT_FALSE(scan.entries[1].intact);
+  EXPECT_TRUE(scan.entries[2].intact);  // Framing recovers past the rot.
+  EXPECT_EQ(scan.entries[2].record.index, 2u);
+}
+
+TEST(SegmentTest, VerifyAtDetectsRotInPlace) {
+  const auto a = EncodeSegmentRecord(Record(1, 0, 0, {1, 2, 3}));
+  const auto b = EncodeSegmentRecord(Record(1, 1, 0, {4, 5}));
+  std::vector<uint8_t> file = a;
+  file.insert(file.end(), b.begin(), b.end());
+
+  EXPECT_TRUE(VerifySegmentRecordAt(file, 0, a.size()));
+  EXPECT_TRUE(VerifySegmentRecordAt(file, a.size(), b.size()));
+  // Wrong length, out-of-range, and rotted bytes all fail closed.
+  EXPECT_FALSE(VerifySegmentRecordAt(file, 0, a.size() - 1));
+  EXPECT_FALSE(VerifySegmentRecordAt(file, file.size(), 8));
+  EXPECT_FALSE(VerifySegmentRecordAt(file, a.size(), b.size() + 1));
+  auto rotted = file;
+  rotted[a.size() + 6] ^= 0x10;
+  EXPECT_FALSE(VerifySegmentRecordAt(rotted, a.size(), b.size()));
+  EXPECT_TRUE(VerifySegmentRecordAt(rotted, 0, a.size()));
+}
+
+}  // namespace
+}  // namespace mergeable
