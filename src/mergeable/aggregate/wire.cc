@@ -1,5 +1,7 @@
 #include "mergeable/aggregate/wire.h"
 
+#include <algorithm>
+
 #include "mergeable/util/check.h"
 #include "mergeable/util/hash.h"
 #include "mergeable/util/random.h"
@@ -15,6 +17,10 @@ constexpr uint32_t kTaggedPayloadMagic = 0x314d5553;
 constexpr uint32_t kControlMagic = 0x314b414e;
 // 'Q' 'R' 'Y' '1' read as a little-endian u32.
 constexpr uint32_t kQueryMagic = 0x31595251;
+// 'B' 'A' 'T' '1' read as a little-endian u32.
+constexpr uint32_t kBatchMagic = 0x31544142;
+// 'B' 'V' 'D' '1' read as a little-endian u32.
+constexpr uint32_t kBatchVerdictMagic = 0x31445642;
 // 'A' 'N' 'S' '1' read as a little-endian u32.
 constexpr uint32_t kAnswerMagic = 0x31534e41;
 
@@ -60,21 +66,26 @@ bool IsControlCode(uint32_t raw) {
 }  // namespace
 
 uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
-                       const std::vector<uint8_t>& payload) {
+                       const uint8_t* payload, size_t size) {
   uint64_t h = MixHash(shard_id, /*seed=*/0x52505431);
   h = MixHash(epoch, h);
-  h = MixHash(payload.size(), h);
+  h = MixHash(size, h);
   size_t i = 0;
-  for (; i + 8 <= payload.size(); i += 8) {
+  for (; i + 8 <= size; i += 8) {
     uint64_t word = 0;
     for (int b = 7; b >= 0; --b) word = (word << 8) | payload[i + b];
     h = MixHash(word, h);
   }
   uint64_t tail = 0;
-  for (size_t j = payload.size(); j > i; --j) {
+  for (size_t j = size; j > i; --j) {
     tail = (tail << 8) | payload[j - 1];
   }
   return MixHash(tail, h);
+}
+
+uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
+                       const std::vector<uint8_t>& payload) {
+  return FrameChecksum(shard_id, epoch, payload.data(), payload.size());
 }
 
 std::vector<uint8_t> EncodeReportFrame(const WireReport& report) {
@@ -129,6 +140,179 @@ std::optional<WireControl> DecodeControlFrame(
     return std::nullopt;
   }
   return control;
+}
+
+// Minimum encoded size of one batch record: shard (8) + epoch (8) +
+// payload length prefix (4). Decoding bounds the claimed count by the
+// actual body bytes through this, before any reserve.
+constexpr size_t kMinBatchRecordBytes = 20;
+
+std::vector<uint8_t> EncodeBatchFrame(const WireBatch& batch) {
+  MERGEABLE_CHECK_MSG(batch.reports.size() <= kMaxBatchReports,
+                      "EncodeBatchFrame: too many reports for one frame");
+  ByteWriter body;
+  body.PutU32(static_cast<uint32_t>(batch.reports.size()));
+  for (const WireReport& report : batch.reports) {
+    body.PutU64(report.shard_id);
+    body.PutU64(report.epoch);
+    body.PutBytes(report.payload);
+  }
+  return SealFrame(kBatchMagic, std::move(body));
+}
+
+std::optional<WireBatch> DecodeBatchFrame(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body = OpenFrame(kBatchMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) return std::nullopt;
+  if (count > kMaxBatchReports) return std::nullopt;
+  // Allocation-bomb hardening: the body must physically be able to hold
+  // `count` records before a vector of that size is reserved.
+  if (static_cast<size_t>(count) * kMinBatchRecordBytes >
+      body->size() - 4) {
+    return std::nullopt;
+  }
+  WireBatch batch;
+  batch.reports.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireReport report;
+    if (!reader.GetU64(&report.shard_id) || !reader.GetU64(&report.epoch) ||
+        !reader.GetBytes(&report.payload)) {
+      return std::nullopt;
+    }
+    batch.reports.push_back(std::move(report));
+  }
+  if (!reader.Exhausted()) return std::nullopt;
+  return batch;
+}
+
+bool ViewBatchFrame(const std::vector<uint8_t>& frame,
+                    std::vector<BatchRecordView>* records) {
+  records->clear();
+  // Envelope: u32 magic, u32 body_len, body bytes, u64 checksum — the
+  // same validation OpenFrame performs, without copying the body out.
+  if (frame.size() < 16) return false;
+  ByteReader header(frame.data(), 8);
+  uint32_t magic = 0;
+  uint32_t body_len = 0;
+  header.GetU32(&magic);
+  header.GetU32(&body_len);
+  if (magic != kBatchMagic) return false;
+  if (frame.size() - 16 != body_len) return false;
+  const uint8_t* body = frame.data() + 8;
+  ByteReader trailer(body + body_len, 8);
+  uint64_t checksum = 0;
+  trailer.GetU64(&checksum);
+  if (checksum != FrameChecksum(kBatchMagic, body_len, body, body_len)) {
+    return false;
+  }
+
+  ByteReader reader(body, body_len);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count) || count > kMaxBatchReports) return false;
+  // Allocation-bomb hardening, as in DecodeBatchFrame: the body must
+  // physically be able to hold `count` records before reserving.
+  if (static_cast<size_t>(count) * kMinBatchRecordBytes >
+      static_cast<size_t>(body_len) - 4) {
+    return false;
+  }
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BatchRecordView view;
+    uint32_t len = 0;
+    if (!reader.GetU64(&view.shard_id) || !reader.GetU64(&view.epoch) ||
+        !reader.GetU32(&len) || reader.remaining() < len) {
+      records->clear();
+      return false;
+    }
+    view.payload = body + (body_len - reader.remaining());
+    view.payload_len = len;
+    reader.Skip(len);
+    records->push_back(view);
+  }
+  if (!reader.Exhausted()) {
+    records->clear();
+    return false;
+  }
+  return true;
+}
+
+uint32_t BatchFrameMagic() { return kBatchMagic; }
+
+uint64_t BatchFrameBodyChecksum(const std::vector<uint8_t>& body) {
+  return FrameChecksum(kBatchMagic, body.size(), body);
+}
+
+bool PeekBatchReportCount(const std::vector<uint8_t>& frame,
+                          uint32_t* count) {
+  ByteReader reader(frame);
+  uint32_t magic = 0;
+  uint32_t body_len = 0;
+  uint32_t claimed = 0;
+  if (!reader.GetU32(&magic) || magic != kBatchMagic ||
+      !reader.GetU32(&body_len) || !reader.GetU32(&claimed)) {
+    return false;
+  }
+  // Clamp a lying header to what the frame could actually carry, so a
+  // 40-byte frame claiming 2^32 reports is charged for at most what it
+  // could hold; the worker's full decode rejects it either way.
+  uint64_t cap = frame.size() / kMinBatchRecordBytes;
+  if (cap > kMaxBatchReports) cap = kMaxBatchReports;
+  *count = static_cast<uint32_t>(
+      std::min<uint64_t>(claimed, cap));
+  return true;
+}
+
+std::vector<uint8_t> EncodeBatchVerdictFrame(
+    const WireBatchVerdict& verdict) {
+  MERGEABLE_CHECK_MSG(
+      verdict.batch_code == ControlCode::kAccepted || verdict.codes.empty(),
+      "per-report codes only accompany an accepted batch");
+  MERGEABLE_CHECK_MSG(verdict.codes.size() <= kMaxBatchReports,
+                      "EncodeBatchVerdictFrame: too many codes");
+  ByteWriter body;
+  body.PutU32(static_cast<uint32_t>(verdict.batch_code));
+  body.PutU64(verdict.retry_after_ms);
+  body.PutU32(static_cast<uint32_t>(verdict.codes.size()));
+  for (ControlCode code : verdict.codes) {
+    body.PutU32(static_cast<uint32_t>(code));
+  }
+  return SealFrame(kBatchVerdictMagic, std::move(body));
+}
+
+std::optional<WireBatchVerdict> DecodeBatchVerdictFrame(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body =
+      OpenFrame(kBatchVerdictMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  WireBatchVerdict verdict;
+  uint32_t batch_code = 0;
+  uint32_t count = 0;
+  if (!reader.GetU32(&batch_code) || !IsControlCode(batch_code) ||
+      !reader.GetU64(&verdict.retry_after_ms) || !reader.GetU32(&count)) {
+    return std::nullopt;
+  }
+  verdict.batch_code = static_cast<ControlCode>(batch_code);
+  if (count > kMaxBatchReports) return std::nullopt;
+  // A non-accepted verdict applies to the whole batch; per-report codes
+  // would be meaningless there, so their presence marks corruption.
+  if (verdict.batch_code != ControlCode::kAccepted && count != 0) {
+    return std::nullopt;
+  }
+  if (static_cast<size_t>(count) * 4 > body->size() - 16) {
+    return std::nullopt;
+  }
+  verdict.codes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t code = 0;
+    if (!reader.GetU32(&code) || !IsControlCode(code)) return std::nullopt;
+    verdict.codes.push_back(static_cast<ControlCode>(code));
+  }
+  if (!reader.Exhausted()) return std::nullopt;
+  return verdict;
 }
 
 std::vector<uint8_t> EncodeQueryFrame(const WireQuery& query) {
@@ -218,6 +402,8 @@ FrameKind PeekFrameKind(const std::vector<uint8_t>& frame) {
     case kControlMagic: return FrameKind::kControl;
     case kQueryMagic: return FrameKind::kQuery;
     case kAnswerMagic: return FrameKind::kAnswer;
+    case kBatchMagic: return FrameKind::kBatch;
+    case kBatchVerdictMagic: return FrameKind::kBatchVerdict;
     default: return FrameKind::kUnknown;
   }
 }
@@ -319,6 +505,56 @@ std::vector<std::vector<uint8_t>> ControlCorpus(uint64_t seed) {
   return corpus;
 }
 
+bool ProbeBatch(const std::vector<uint8_t>& frame) {
+  std::optional<WireBatch> batch = DecodeBatchFrame(frame);
+  if (!batch.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeBatchFrame(*batch) == frame,
+                      "batch frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> BatchCorpus(uint64_t seed) {
+  // Structural edge cases: the zero-report batch, a small mixed batch
+  // (including an empty inner payload), and a larger one so truncation
+  // and bit-flip sweeps cross many record boundaries.
+  WireBatch empty;
+  WireBatch small;
+  small.reports.push_back({seed, 1, CorpusBytes(seed, 24)});
+  small.reports.push_back({seed ^ 5, 1, {}});
+  small.reports.push_back({~seed, 2, CorpusBytes(seed * 7 + 3, 90)});
+  WireBatch big;
+  for (uint64_t i = 0; i < 32; ++i) {
+    big.reports.push_back(
+        {i, seed % 16, CorpusBytes(seed + i, 8 + (i % 5) * 11)});
+  }
+  return {EncodeBatchFrame(empty), EncodeBatchFrame(small),
+          EncodeBatchFrame(big)};
+}
+
+bool ProbeBatchVerdict(const std::vector<uint8_t>& frame) {
+  std::optional<WireBatchVerdict> verdict = DecodeBatchVerdictFrame(frame);
+  if (!verdict.has_value()) return false;
+  MERGEABLE_CHECK_MSG(
+      EncodeBatchVerdictFrame(*verdict) == frame,
+      "batch verdict frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> BatchVerdictCorpus(uint64_t seed) {
+  WireBatchVerdict shed;
+  shed.batch_code = ControlCode::kRetryAfter;
+  shed.retry_after_ms = seed % 100 + 1;
+  WireBatchVerdict rejected;
+  rejected.batch_code = ControlCode::kRejected;
+  WireBatchVerdict processed;
+  processed.codes = {ControlCode::kAccepted, ControlCode::kDuplicate,
+                     ControlCode::kRejected, ControlCode::kAccepted,
+                     ControlCode::kRetryAfter};
+  processed.retry_after_ms = 25;
+  return {EncodeBatchVerdictFrame(shed), EncodeBatchVerdictFrame(rejected),
+          EncodeBatchVerdictFrame(processed)};
+}
+
 bool ProbeQuery(const std::vector<uint8_t>& frame) {
   std::optional<WireQuery> query = DecodeQueryFrame(frame);
   if (!query.has_value()) return false;
@@ -378,6 +614,8 @@ const std::vector<FrameCodecInfo>& FrameRegistry() {
       {"ControlFrame", &ProbeControl, &ControlCorpus},
       {"QueryFrame", &ProbeQuery, &QueryCorpus},
       {"AnswerFrame", &ProbeAnswer, &AnswerCorpus},
+      {"BatchFrame", &ProbeBatch, &BatchCorpus},
+      {"BatchVerdictFrame", &ProbeBatchVerdict, &BatchVerdictCorpus},
   };
   return registry;
 }

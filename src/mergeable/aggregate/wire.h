@@ -53,6 +53,9 @@ struct WireReport {
 // it defends against corruption, not forgery (same trust model as a CRC).
 uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
                        const std::vector<uint8_t>& payload);
+// Span form for callers hashing bytes in place (e.g. ViewBatchFrame).
+uint64_t FrameChecksum(uint64_t shard_id, uint64_t epoch,
+                       const uint8_t* payload, size_t size);
 
 // Serializes `report` as one frame.
 std::vector<uint8_t> EncodeReportFrame(const WireReport& report);
@@ -98,6 +101,87 @@ struct WireControl {
 
 std::vector<uint8_t> EncodeControlFrame(const WireControl& control);
 std::optional<WireControl> DecodeControlFrame(
+    const std::vector<uint8_t>& frame);
+
+// ---- Batched ingest frames ----
+//
+// One syscall per report caps the socket path orders of magnitude below
+// the in-process batched sketch paths, so the transport ships many
+// reports per frame:
+//
+//   'B','A','T','1'  a length-prefixed vector of report records under
+//                    one checksum. Body: u32 count, then count records
+//                    of (u64 shard_id, u64 epoch, length-prefixed
+//                    payload). Decoding is hardened like every other
+//                    frame: the count is bounds-checked against the
+//                    actual body bytes before anything is reserved, so
+//                    a hostile count cannot allocate.
+//   'B','V','D','1'  the server's verdict on one batch. A whole-batch
+//                    code (kRetryAfter = the batch was shed at
+//                    admission, resend everything after retry_after_ms;
+//                    kRejected = the frame itself is malformed) or
+//                    kAccepted with one per-report code per record, in
+//                    record order — so a 256-report batch costs one
+//                    response frame, not 256.
+
+// Reports per batch are bounded independently of kMaxFrameBytes so a
+// hostile count field can neither allocate nor distort admission
+// accounting (each record is at least 20 bytes, enforced on decode).
+inline constexpr uint32_t kMaxBatchReports = 1u << 16;
+
+struct WireBatch {
+  std::vector<WireReport> reports;
+};
+
+std::vector<uint8_t> EncodeBatchFrame(const WireBatch& batch);
+std::optional<WireBatch> DecodeBatchFrame(const std::vector<uint8_t>& frame);
+
+// One batch record seen in place: `payload` points into the viewed
+// frame and is valid only while that frame's bytes are.
+struct BatchRecordView {
+  uint64_t shard_id = 0;
+  uint64_t epoch = 0;
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+};
+
+// Validates the full BAT1 envelope exactly as DecodeBatchFrame does
+// (magic, length, checksum, count bound, record bounds, no trailing
+// bytes) but yields views into `frame` instead of copying each payload
+// out — the server's batched hot path decodes summaries straight from
+// the frame, skipping one allocation and copy per record. `records` is
+// cleared first; false (with `records` empty) on any malformation.
+bool ViewBatchFrame(const std::vector<uint8_t>& frame,
+                    std::vector<BatchRecordView>* records);
+
+// The BAT1 frame disassembled, for scatter-gather senders: a client
+// that accumulates the batch body (u32 count + records) contiguously
+// as reports are buffered can send [prefix | body | checksum] with one
+// sendmsg and never assemble the full frame (client.cc). The checksum
+// is exactly what DecodeBatchFrame recomputes over the same body.
+uint32_t BatchFrameMagic();
+uint64_t BatchFrameBodyChecksum(const std::vector<uint8_t>& body);
+
+// Reads the claimed report count of a batch frame without validating
+// payloads or checksum — enough for the loop thread to account a shed
+// batch and synthesize its NACK. The returned count is clamped to what
+// the frame's size could actually carry (and to kMaxBatchReports), so a
+// lying header cannot inflate admission accounting. False for frames
+// too short to carry a count.
+bool PeekBatchReportCount(const std::vector<uint8_t>& frame,
+                          uint32_t* count);
+
+struct WireBatchVerdict {
+  // Verdict for the frame as a whole. kAccepted means the batch was
+  // processed and `codes` holds one verdict per record; anything else
+  // applies to every record and `codes` is empty.
+  ControlCode batch_code = ControlCode::kAccepted;
+  uint64_t retry_after_ms = 0;  // Meaningful for kRetryAfter codes.
+  std::vector<ControlCode> codes;
+};
+
+std::vector<uint8_t> EncodeBatchVerdictFrame(const WireBatchVerdict& verdict);
+std::optional<WireBatchVerdict> DecodeBatchVerdictFrame(
     const std::vector<uint8_t>& frame);
 
 // A range query shipped to the server: epochs [t1, t2] of `stream`,
@@ -157,6 +241,8 @@ enum class FrameKind {
   kControl,
   kQuery,
   kAnswer,
+  kBatch,
+  kBatchVerdict,
   kUnknown,  // Too short or unrecognized magic.
 };
 
@@ -180,8 +266,8 @@ struct FrameCodecInfo {
 };
 
 // Every frame codec, in a fixed order: report, tagged payload, control,
-// query, answer. Tests iterate this table, so a frame type added here is
-// automatically fuzzed and corruption-tested.
+// query, answer, batch, batch verdict. Tests iterate this table, so a
+// frame type added here is automatically fuzzed and corruption-tested.
 const std::vector<FrameCodecInfo>& FrameRegistry();
 
 // A summary encoding annotated with its registry tag.

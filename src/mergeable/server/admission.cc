@@ -17,40 +17,53 @@ AdmitResult AdmissionQueue::Offer(WorkItem item) {
   if (closed_) return AdmitResult::kClosed;
 
   const bool is_query = item.kind == WorkKind::kQuery;
+  const bool is_batch = item.kind == WorkKind::kBatch;
   const size_t item_bytes = item.frame.size();
+  // An item's admission weight: a batch frame costs its report count,
+  // so depth limits see through batching (a query weighs one unit; an
+  // empty batch still occupies one slot so it cannot flood for free).
+  const size_t weight =
+      is_query ? 1 : static_cast<size_t>(item.reports > 0 ? item.reports : 1);
 
   // Hard limits first: nothing is admitted above the cap or the byte
-  // budget, queries included.
-  if (queue_.size() >= config_.hard_cap ||
+  // budget, queries included. A batch that does not fit whole is shed
+  // whole — admission never splits a frame.
+  if (queued_reports_ + weight > config_.hard_cap ||
       queued_bytes_ + item_bytes > config_.byte_budget) {
     if (is_query) {
       ++stats_.shed_queries;
     } else {
-      ++stats_.shed_reports;
+      stats_.shed_reports += weight;
+      if (is_batch) ++stats_.shed_batches;
     }
     return AdmitResult::kOverCap;
   }
 
   // Hysteresis: engage above high, release below low (checked in
   // Take()).
-  if (queue_.size() >= config_.high_watermark) backpressure_ = true;
+  if (queued_reports_ >= config_.high_watermark) backpressure_ = true;
 
   // Priority shedding: under backpressure, reports are refused while
   // queries keep flowing up to the hard cap.
   if (backpressure_ && !is_query) {
-    ++stats_.shed_reports;
-    ++stats_.backpressure_nacks;
+    stats_.shed_reports += weight;
+    stats_.backpressure_nacks += weight;
+    if (is_batch) ++stats_.shed_batches;
     return AdmitResult::kBackpressure;
   }
 
   queued_bytes_ += item_bytes;
+  queued_reports_ += weight;
   queue_.push_back(std::move(item));
   if (is_query) {
     ++stats_.admitted_queries;
   } else {
-    ++stats_.admitted_reports;
+    stats_.admitted_reports += weight;
+    if (is_batch) ++stats_.admitted_batches;
   }
-  if (queue_.size() > stats_.peak_depth) stats_.peak_depth = queue_.size();
+  if (queued_reports_ > stats_.peak_depth) {
+    stats_.peak_depth = queued_reports_;
+  }
   if (queued_bytes_ > stats_.peak_bytes) stats_.peak_bytes = queued_bytes_;
   take_cv_.notify_one();
   return AdmitResult::kAdmitted;
@@ -65,7 +78,12 @@ std::optional<WorkItem> AdmissionQueue::Take() {
   WorkItem item = std::move(queue_.front());
   queue_.pop_front();
   queued_bytes_ -= item.frame.size();
-  if (backpressure_ && queue_.size() <= config_.low_watermark) {
+  const size_t weight =
+      item.kind == WorkKind::kQuery
+          ? 1
+          : static_cast<size_t>(item.reports > 0 ? item.reports : 1);
+  queued_reports_ -= weight;
+  if (backpressure_ && queued_reports_ <= config_.low_watermark) {
     backpressure_ = false;
   }
   if (queue_.empty()) empty_cv_.notify_all();
@@ -97,7 +115,7 @@ bool AdmissionQueue::in_backpressure() const {
 
 size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queued_reports_;
 }
 
 size_t AdmissionQueue::queued_bytes() const {

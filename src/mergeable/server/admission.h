@@ -42,12 +42,18 @@ namespace mergeable {
 enum class WorkKind : uint8_t {
   kReport = 0,
   kQuery = 1,
+  kBatch = 2,  // A BAT1 frame carrying `reports` report records.
 };
 
 // One admitted unit of work: a decoded-enough frame plus routing info.
+// `reports` is the item's weight in admission accounting — a batch
+// frame of N reports consumes N units of queue depth, so watermarks,
+// the hard cap and the shed counters stay exact at batch granularity
+// (a 256-report batch is not cheaper to queue than 256 single frames).
 struct WorkItem {
   WorkKind kind = WorkKind::kReport;
   uint64_t conn_id = 0;
+  uint64_t reports = 1;
   std::vector<uint8_t> frame;
 };
 
@@ -60,20 +66,25 @@ enum class AdmitResult : uint8_t {
 };
 
 struct AdmissionConfig {
-  size_t high_watermark = 64;   // Items; backpressure engages above.
-  size_t low_watermark = 16;    // Items; backpressure releases below.
-  size_t hard_cap = 256;        // Items; nothing admitted above.
+  // Depth limits are denominated in *reports*, not frames: a batch
+  // frame weighs its report count, so batched and single-report
+  // traffic face the same watermarks. (Queries weigh one unit.)
+  size_t high_watermark = 64;   // Reports; backpressure engages above.
+  size_t low_watermark = 16;    // Reports; backpressure releases below.
+  size_t hard_cap = 256;        // Reports; nothing admitted above.
   size_t byte_budget = 8u << 20;  // Bytes of queued frames.
   uint64_t retry_after_ms = 20;   // Hint sent with backpressure NACKs.
 };
 
 struct AdmissionStats {
-  uint64_t admitted_reports = 0;
+  uint64_t admitted_reports = 0;  // Reports (batch members count apiece).
   uint64_t admitted_queries = 0;
-  uint64_t shed_reports = 0;
+  uint64_t admitted_batches = 0;  // Batch frames among the admissions.
+  uint64_t shed_reports = 0;      // Reports, exact at batch granularity.
+  uint64_t shed_batches = 0;      // Batch frames among the sheds.
   uint64_t shed_queries = 0;
   uint64_t backpressure_nacks = 0;  // Subset of shed_reports.
-  size_t peak_depth = 0;
+  size_t peak_depth = 0;          // Reports, not frames.
   size_t peak_bytes = 0;
 };
 
@@ -99,7 +110,7 @@ class AdmissionQueue {
   void WaitUntilEmpty();
 
   bool in_backpressure() const;
-  size_t depth() const;
+  size_t depth() const;  // Queued reports (batch members count apiece).
   size_t queued_bytes() const;
   uint64_t retry_after_ms() const { return config_.retry_after_ms; }
   AdmissionStats stats() const;
@@ -111,6 +122,7 @@ class AdmissionQueue {
   std::condition_variable take_cv_;
   std::condition_variable empty_cv_;
   std::deque<WorkItem> queue_;
+  size_t queued_reports_ = 0;  // Sum of queued items' report weights.
   size_t queued_bytes_ = 0;
   bool backpressure_ = false;
   bool paused_ = false;

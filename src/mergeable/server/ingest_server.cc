@@ -35,7 +35,7 @@ IngestServer::~IngestServer() { Stop(); }
 
 bool IngestServer::Start() {
   if (running_.load()) return true;
-  listener_ = TcpListener::Bind(config_.port);
+  listener_ = TcpListener::Bind(config_.port, config_.reuse_port);
   if (!listener_.has_value()) return false;
   if (!epoll_.valid() || !wake_.valid()) return false;
   if (!epoll_.Add(listener_->fd(), kListenerData, false)) return false;
@@ -79,9 +79,18 @@ void IngestServer::WorkerThread() {
   while (true) {
     std::optional<WorkItem> item = queue_.Take();
     if (!item.has_value()) return;  // Closed and drained.
-    std::vector<uint8_t> response =
-        item->kind == WorkKind::kQuery ? handler_->HandleQuery(item->frame)
-                                       : handler_->HandleReport(item->frame);
+    std::vector<uint8_t> response;
+    switch (item->kind) {
+      case WorkKind::kQuery:
+        response = handler_->HandleQuery(item->frame);
+        break;
+      case WorkKind::kBatch:
+        response = handler_->HandleBatch(item->frame);
+        break;
+      case WorkKind::kReport:
+        response = handler_->HandleReport(item->frame);
+        break;
+    }
     QueueResponse(item->conn_id, response);
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -196,7 +205,9 @@ void IngestServer::RouteFrame(uint64_t conn_id, Conn& conn,
   WorkItem item;
   item.conn_id = conn_id;
   // The NACK address, read from the header before the frame is moved
-  // into the queue — a shed report is never payload-decoded.
+  // into the queue — a shed report is never payload-decoded. For a
+  // batch, only the (clamped) report count is peeked: a shed batch is
+  // answered with one whole-batch verdict, not per-record ones.
   uint64_t shard_id = 0;
   uint64_t epoch = 0;
   switch (kind) {
@@ -204,6 +215,13 @@ void IngestServer::RouteFrame(uint64_t conn_id, Conn& conn,
       item.kind = WorkKind::kReport;
       PeekReportHeader(frame, &shard_id, &epoch);
       break;
+    case FrameKind::kBatch: {
+      item.kind = WorkKind::kBatch;
+      uint32_t count = 0;
+      PeekBatchReportCount(frame, &count);
+      item.reports = count > 0 ? count : 1;
+      break;
+    }
     case FrameKind::kQuery:
       item.kind = WorkKind::kQuery;
       break;
@@ -219,6 +237,7 @@ void IngestServer::RouteFrame(uint64_t conn_id, Conn& conn,
     }
   }
   item.frame = std::move(frame);
+  const WorkKind item_kind = item.kind;
 
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -231,11 +250,20 @@ void IngestServer::RouteFrame(uint64_t conn_id, Conn& conn,
     --inflight_;
     if (inflight_ == 0) inflight_cv_.notify_all();
   }
-  WireControl nack;
   // Backpressure and over-cap sheds are retryable; a closed queue
   // (server shutting down) is not.
-  nack.code = verdict == AdmitResult::kClosed ? ControlCode::kRejected
-                                              : ControlCode::kRetryAfter;
+  const ControlCode code = verdict == AdmitResult::kClosed
+                               ? ControlCode::kRejected
+                               : ControlCode::kRetryAfter;
+  if (item_kind == WorkKind::kBatch) {
+    WireBatchVerdict nack;
+    nack.batch_code = code;
+    nack.retry_after_ms = queue_.retry_after_ms();
+    EnqueueOutbound(conn_id, conn, EncodeBatchVerdictFrame(nack));
+    return;
+  }
+  WireControl nack;
+  nack.code = code;
   nack.shard_id = shard_id;
   nack.epoch = epoch;
   nack.retry_after_ms = queue_.retry_after_ms();

@@ -46,13 +46,16 @@
 namespace mergeable {
 
 // What the server calls on each admitted frame; implemented by the
-// templated EpochService<S>. Both methods run on worker threads —
+// templated EpochService<S>. All methods run on worker threads —
 // implementations synchronize their own state — and return the frame to
-// send back (a control frame for reports, an answer frame for queries).
+// send back (a control frame for reports, a batch verdict for batches,
+// an answer frame for queries).
 class FrameHandler {
  public:
   virtual ~FrameHandler() = default;
   virtual std::vector<uint8_t> HandleReport(
+      const std::vector<uint8_t>& frame) = 0;
+  virtual std::vector<uint8_t> HandleBatch(
       const std::vector<uint8_t>& frame) = 0;
   virtual std::vector<uint8_t> HandleQuery(
       const std::vector<uint8_t>& frame) = 0;
@@ -61,6 +64,10 @@ class FrameHandler {
 struct ServerConfig {
   uint16_t port = 0;  // 0 = ephemeral; port() reports the real one.
   size_t workers = 2;
+  // SO_REUSEPORT on the listener, so several IngestServer instances can
+  // bind one port and let the kernel spread connections across their
+  // accept queues (sharded_server.h builds per-core sharding on this).
+  bool reuse_port = false;
   AdmissionConfig admission;
   // A connection whose unsent responses exceed this is disconnected.
   size_t max_conn_buffer_bytes = 1u << 20;

@@ -26,11 +26,17 @@ bool SetNonBlocking(int fd) {
   return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-std::optional<TcpListener> TcpListener::Bind(uint16_t port) {
+std::optional<TcpListener> TcpListener::Bind(uint16_t port,
+                                             bool reuse_port) {
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return std::nullopt;
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    return std::nullopt;
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

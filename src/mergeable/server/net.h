@@ -54,7 +54,11 @@ bool SetNonBlocking(int fd);
 class TcpListener {
  public:
   // std::nullopt when any syscall fails (e.g. the port is taken).
-  static std::optional<TcpListener> Bind(uint16_t port);
+  // `reuse_port` sets SO_REUSEPORT so several listeners can share one
+  // port and the kernel load-balances incoming connections across them
+  // (per-core sharded accept; every sharing socket must set the flag).
+  static std::optional<TcpListener> Bind(uint16_t port,
+                                         bool reuse_port = false);
 
   int fd() const { return fd_.get(); }
   uint16_t port() const { return port_; }

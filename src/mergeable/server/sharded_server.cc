@@ -1,0 +1,91 @@
+#include "mergeable/server/sharded_server.h"
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+ShardedIngestServer::ShardedIngestServer(FrameHandler* handler,
+                                         ShardedServerConfig config)
+    : handler_(handler), config_(config) {
+  MERGEABLE_CHECK_MSG(handler != nullptr, "sharded server needs a handler");
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.workers_per_shard == 0) config_.workers_per_shard = 1;
+}
+
+bool ShardedIngestServer::Start() {
+  if (!servers_.empty()) return true;
+  servers_.reserve(config_.shards);
+  uint16_t port = config_.port;
+  for (size_t i = 0; i < config_.shards; ++i) {
+    ServerConfig shard_config;
+    // Shard 0 may bind port 0 (ephemeral); the kernel picks, and every
+    // later shard binds the discovered port. All set SO_REUSEPORT —
+    // sharing only works when every socket on the port opts in.
+    shard_config.port = port;
+    shard_config.workers = config_.workers_per_shard;
+    shard_config.reuse_port = true;
+    shard_config.admission = config_.admission;
+    shard_config.max_conn_buffer_bytes = config_.max_conn_buffer_bytes;
+    auto server = std::make_unique<IngestServer>(handler_, shard_config);
+    if (!server->Start()) {
+      Stop();
+      return false;
+    }
+    port = server->port();
+    servers_.push_back(std::move(server));
+  }
+  port_ = port;
+  return true;
+}
+
+void ShardedIngestServer::Stop() {
+  for (auto& server : servers_) server->Stop();
+  servers_.clear();
+  port_ = 0;
+}
+
+void ShardedIngestServer::Drain() {
+  for (auto& server : servers_) server->Drain();
+}
+
+void ShardedIngestServer::PauseWorkers(bool paused) {
+  for (auto& server : servers_) server->PauseWorkers(paused);
+}
+
+AdmissionStats ShardedIngestServer::admission_stats() const {
+  AdmissionStats total;
+  for (const auto& server : servers_) {
+    const AdmissionStats s = server->admission_stats();
+    total.admitted_reports += s.admitted_reports;
+    total.admitted_queries += s.admitted_queries;
+    total.admitted_batches += s.admitted_batches;
+    total.shed_reports += s.shed_reports;
+    total.shed_batches += s.shed_batches;
+    total.shed_queries += s.shed_queries;
+    total.backpressure_nacks += s.backpressure_nacks;
+    // Peaks are per-shard maxima, not a global snapshot: shards peak at
+    // different instants, so the max is the honest aggregate.
+    if (s.peak_depth > total.peak_depth) total.peak_depth = s.peak_depth;
+    if (s.peak_bytes > total.peak_bytes) total.peak_bytes = s.peak_bytes;
+  }
+  return total;
+}
+
+ServerStats ShardedIngestServer::stats() const {
+  ServerStats total;
+  for (const auto& server : servers_) {
+    const ServerStats s = server->stats();
+    total.connections_accepted += s.connections_accepted;
+    total.connections_closed += s.connections_closed;
+    total.slow_consumer_disconnects += s.slow_consumer_disconnects;
+    total.poisoned_streams += s.poisoned_streams;
+    total.frames_received += s.frames_received;
+    total.unknown_frames += s.unknown_frames;
+    if (s.peak_conn_buffer_bytes > total.peak_conn_buffer_bytes) {
+      total.peak_conn_buffer_bytes = s.peak_conn_buffer_bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace mergeable

@@ -126,6 +126,15 @@ class ByteReader {
     return true;
   }
 
+  // Advances past `size` bytes without reading them; false (position
+  // unchanged) if fewer remain. Zero-copy readers pair this with
+  // remaining() to take spans into the underlying buffer.
+  bool Skip(size_t size) {
+    if (size_ - position_ < size) return false;
+    position_ += size;
+    return true;
+  }
+
   // True when every byte has been consumed (decoders use this to reject
   // trailing garbage).
   bool Exhausted() const { return position_ == size_; }

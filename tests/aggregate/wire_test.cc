@@ -229,7 +229,7 @@ TEST(WireTest, PeekFrameKindRoutesEveryMagic) {
 
 TEST(WireTest, FrameRegistryCoversEveryFrameType) {
   const auto& registry = FrameRegistry();
-  ASSERT_EQ(registry.size(), 5u);
+  ASSERT_EQ(registry.size(), 7u);
   for (const auto& info : registry) {
     SCOPED_TRACE(info.name);
     const auto corpus = info.corpus(/*seed=*/7);
