@@ -57,12 +57,6 @@ double ElapsedSec(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-double Percentile(std::vector<double>& values, double p) {
-  if (values.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  return values[static_cast<size_t>(rank)];
-}
-
 // The payload pool: a small set of distinct pre-encoded summaries whose
 // contents are Zipf-skewed, referenced by the trace. Encoding once
 // keeps the client's replay loop at memcpy cost, so the wire and the

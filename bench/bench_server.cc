@@ -54,13 +54,6 @@ SpaceSaving ReportSummary(uint64_t epoch, uint64_t shard) {
   return summary;
 }
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-  return values[static_cast<size_t>(rank)];
-}
-
 BackoffPolicy RetryPolicy() {
   BackoffPolicy policy;
   policy.max_attempts = 8;

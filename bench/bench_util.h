@@ -20,7 +20,18 @@
 #include <utility>
 #include <vector>
 
+#include "mergeable/util/latency_reservoir.h"
+
 namespace mergeable::bench {
+
+// Interpolated percentile (sorts in place). The benches used to
+// truncate the fractional rank, which systematically understates tail
+// percentiles on small sample counts; the shared helper interpolates
+// between adjacent order statistics instead (unit-tested in
+// tests/util/latency_reservoir_test.cc).
+inline double Percentile(std::vector<double>& values, double p) {
+  return InterpolatedPercentile(values, p);
+}
 
 struct JsonTable {
   std::string title;

@@ -43,6 +43,7 @@ class KmvSketch;
 class DyadicCountMin;
 class EpsApproximation;
 class EpsKernel;
+class DeamortizedSpaceSaving;
 
 // Wire-stable identifier of a summary type. Values are persisted (store
 // node files, tagged payloads); never renumber, only append.
@@ -90,6 +91,14 @@ MERGEABLE_SUMMARY_TRAITS(KmvSketch, SummaryTag::kKmv);
 MERGEABLE_SUMMARY_TRAITS(DyadicCountMin, SummaryTag::kDyadicCountMin);
 MERGEABLE_SUMMARY_TRAITS(EpsApproximation, SummaryTag::kEpsApproximation);
 MERGEABLE_SUMMARY_TRAITS(EpsKernel, SummaryTag::kEpsKernel);
+
+// DeamortizedSpaceSaving shares SpaceSaving's wire format (same SS01
+// payload, same validation), so it reuses the same wire-stable tag:
+// stores written by one decode under the other, and the registry row
+// for kSpaceSaving covers both codecs' bytes. It is deliberately NOT a
+// separate registry entry — the registry enumerates wire formats, not
+// in-memory implementations.
+MERGEABLE_SUMMARY_TRAITS(DeamortizedSpaceSaving, SummaryTag::kSpaceSaving);
 
 #undef MERGEABLE_SUMMARY_TRAITS
 

@@ -321,6 +321,7 @@ std::vector<uint8_t> EncodeQueryFrame(const WireQuery& query) {
   body.PutU64(query.t1);
   body.PutU64(query.t2);
   body.PutU64(query.deadline_ms);
+  body.PutU64(query.window);
   return SealFrame(kQueryMagic, std::move(body));
 }
 
@@ -331,10 +332,12 @@ std::optional<WireQuery> DecodeQueryFrame(const std::vector<uint8_t>& frame) {
   WireQuery query;
   if (!reader.GetU64(&query.stream) || !reader.GetU64(&query.t1) ||
       !reader.GetU64(&query.t2) || !reader.GetU64(&query.deadline_ms) ||
-      !reader.Exhausted()) {
+      !reader.GetU64(&query.window) || !reader.Exhausted()) {
     return std::nullopt;
   }
-  if (query.t1 > query.t2) return std::nullopt;  // Never a valid range.
+  // An absolute-range query with t1 > t2 is never valid; a window query
+  // derives its range server-side and ignores t1/t2 entirely.
+  if (query.window == 0 && query.t1 > query.t2) return std::nullopt;
   return query;
 }
 
@@ -564,9 +567,13 @@ bool ProbeQuery(const std::vector<uint8_t>& frame) {
 }
 
 std::vector<std::vector<uint8_t>> QueryCorpus(uint64_t seed) {
-  return {EncodeQueryFrame({seed, 0, 0, 0}),
-          EncodeQueryFrame({1, seed % 64, seed % 64 + 17, 50}),
-          EncodeQueryFrame({0, 0, ~uint64_t{0}, ~uint64_t{0}})};
+  return {EncodeQueryFrame({seed, 0, 0, 0, 0}),
+          EncodeQueryFrame({1, seed % 64, seed % 64 + 17, 50, 0}),
+          EncodeQueryFrame({0, 0, ~uint64_t{0}, ~uint64_t{0}, 0}),
+          // Sliding-window addressing: t1/t2 carry no meaning (and may
+          // even be inverted); the window selects the range.
+          EncodeQueryFrame({2, 0, 0, 30, seed % 100 + 1}),
+          EncodeQueryFrame({3, 5, 1, 0, ~uint64_t{0}})};
 }
 
 bool ProbeAnswer(const std::vector<uint8_t>& frame) {

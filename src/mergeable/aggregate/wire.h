@@ -188,11 +188,18 @@ std::optional<WireBatchVerdict> DecodeBatchVerdictFrame(
 // answered within `deadline_ms` of virtual merge budget (0 = no
 // deadline). A query that cannot merge its covering nodes in time comes
 // back partial with a correspondingly widened epsilon, never blocked.
+//
+// `window` > 0 selects sliding-window addressing instead: "the last
+// `window` sealed epochs", resolved by the server against the stream's
+// current history (clamped when the history is shorter); t1/t2 in the
+// request are then ignored and the answer echoes the absolute range the
+// window resolved to. window == 0 is the classic absolute-range query.
 struct WireQuery {
   uint64_t stream = 0;
   uint64_t t1 = 0;
   uint64_t t2 = 0;
   uint64_t deadline_ms = 0;
+  uint64_t window = 0;
 };
 
 std::vector<uint8_t> EncodeQueryFrame(const WireQuery& query);

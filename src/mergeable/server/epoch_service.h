@@ -50,6 +50,7 @@
 #ifndef MERGEABLE_SERVER_EPOCH_SERVICE_H_
 #define MERGEABLE_SERVER_EPOCH_SERVICE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -64,6 +65,7 @@
 #include "mergeable/aggregate/wire.h"
 #include "mergeable/server/ingest_server.h"
 #include "mergeable/store/summary_store.h"
+#include "mergeable/store/window.h"
 #include "mergeable/util/bytes.h"
 
 namespace mergeable {
@@ -86,6 +88,11 @@ struct EpochServiceConfig {
   // beyond this, buffered epochs degrade to empty placeholders (their
   // mass is accounted as lost, to the byte).
   size_t max_buffered_seals = 16;
+  // Largest sliding window (in epochs) served from the resident ring;
+  // 0 disables the ring. Window queries beyond the ring's reach (or
+  // past a warm-restart gap) fall back to the store path transparently,
+  // with byte-identical answers.
+  uint64_t window_capacity = 0;
 };
 
 struct EpochServiceStats {
@@ -98,6 +105,8 @@ struct EpochServiceStats {
   uint64_t queries_answered = 0;
   uint64_t queries_partial = 0;
   uint64_t queries_refused = 0;  // Unknown stream / unsealed range.
+  uint64_t queries_window = 0;       // Window-addressed queries answered.
+  uint64_t queries_window_ring = 0;  // ... of those, served from the ring.
   uint64_t storage_seal_failures = 0;  // Seal attempts the backend refused.
   uint64_t storage_recoveries = 0;     // Degraded -> healthy transitions.
   uint64_t epochs_sealed_empty = 0;    // Zero-report placeholder seals.
@@ -118,6 +127,9 @@ class EpochService : public FrameHandler {
     if (store->HasStream(config_.stream)) {
       next_epoch_ = store->BaseEpoch(config_.stream) +
                     store->EpochCount(config_.stream);
+    }
+    if (config_.window_capacity > 0) {
+      ring_.emplace(config_.window_capacity, StoreEpsilon());
     }
   }
 
@@ -264,6 +276,41 @@ class EpochService : public FrameHandler {
     answer.t2 = query->t2;
 
     std::lock_guard<std::mutex> lock(mu_);
+    if (query->window > 0) {
+      // Sliding-window addressing: resolve "the last w epochs" against
+      // the stream's sealed history (clamped when shorter), then serve
+      // from the resident ring when it covers the window — the store
+      // path answers byte-identically otherwise, so callers cannot tell
+      // which tier replied except through the stats.
+      if (query->stream != config_.stream ||
+          !store_->HasStream(config_.stream)) {
+        answer.status = AnswerStatus::kUnknownRange;
+        ++stats_.queries_refused;
+        return EncodeAnswerFrame(answer);
+      }
+      const uint64_t base = store_->BaseEpoch(config_.stream);
+      const uint64_t count = store_->EpochCount(config_.stream);
+      const uint64_t w = std::min<uint64_t>(query->window, count);
+      answer.t1 = base + count - w;
+      answer.t2 = base + count - 1;
+      query->t1 = answer.t1;
+      query->t2 = answer.t2;
+      ++stats_.queries_window;
+      if (ring_.has_value() && ring_->next_index() == count) {
+        std::optional<typename SlidingWindowRing<S>::Outcome> window =
+            ring_->Query(w);
+        if (window.has_value()) {
+          ++stats_.queries_window_ring;
+          answer.status = AnswerStatus::kOk;
+          answer.epochs_covered = w;
+          FillEpsilon(&answer, window->eps);
+          answer.payload = EncodeTaggedPayload(SummaryTraits<S>::kTag,
+                                               window->payload);
+          ++stats_.queries_answered;
+          return EncodeAnswerFrame(answer);
+        }
+      }
+    }
     QueryDeadline deadline;
     if (query->deadline_ms != 0) deadline.budget_ms = query->deadline_ms;
     deadline.cost_per_node_ms = config_.query_cost_per_node_ms;
@@ -280,15 +327,7 @@ class EpochService : public FrameHandler {
     answer.status = AnswerStatus::kOk;
     answer.partial = outcome->partial;
     answer.epochs_covered = outcome->covered_hi - query->t1 + 1;
-    answer.epsilon = outcome->eps.epsilon;
-    answer.epochs = outcome->eps.epochs;
-    answer.degraded_epochs = outcome->eps.degraded_epochs;
-    answer.coverage = outcome->eps.coverage;
-    answer.n_received = outcome->eps.n_received;
-    answer.lost_mass = outcome->eps.lost_mass;
-    answer.lost_mass_estimated = outcome->eps.lost_mass_estimated;
-    answer.received_bound = outcome->eps.received_bound;
-    answer.full_stream_bound = outcome->eps.full_stream_bound;
+    FillEpsilon(&answer, outcome->eps);
     answer.payload = EncodeTaggedPayload(SummaryTraits<S>::kTag,
                                          *outcome->payload);
     ++stats_.queries_answered;
@@ -417,9 +456,42 @@ class EpochService : public FrameHandler {
         ++stats_.storage_seal_failures;
         return false;
       }
+      // Feed the window ring the leaf the store just wrote: the same
+      // summary and the meta the store recorded, under the store's own
+      // relative index — what keeps ring answers byte-identical.
+      if (ring_.has_value() && seal.result.summary.has_value()) {
+        const uint64_t index = store_->EpochCount(config_.stream) - 1;
+        if (ring_->next_index() == index || ring_->next_index() == 0) {
+          ring_->OnSeal(index, *seal.result.summary,
+                        store_->Metas(config_.stream).back());
+        }
+      }
       buffered_seals_.pop_front();
     }
     return true;
+  }
+
+  static void FillEpsilon(WireAnswer* answer, const EpsilonReport& eps) {
+    answer->epsilon = eps.epsilon;
+    answer->epochs = eps.epochs;
+    answer->degraded_epochs = eps.degraded_epochs;
+    answer->coverage = eps.coverage;
+    answer->n_received = eps.n_received;
+    answer->lost_mass = eps.lost_mass;
+    answer->lost_mass_estimated = eps.lost_mass_estimated;
+    answer->received_bound = eps.received_bound;
+    answer->full_stream_bound = eps.full_stream_bound;
+  }
+
+  // The serving epsilon, independent of whether the store is the plain
+  // SummaryStore (options().epsilon) or the durable wrapper
+  // (options().store.epsilon).
+  double StoreEpsilon() const {
+    if constexpr (requires { store_->options().epsilon; }) {
+      return store_->options().epsilon;
+    } else {
+      return store_->options().store.epsilon;
+    }
   }
 
   StoreT* store_;
@@ -435,6 +507,9 @@ class EpochService : public FrameHandler {
   std::function<S()> empty_summary_;
   std::deque<BufferedSeal> buffered_seals_;
   bool storage_degraded_ = false;
+  // Resident suffix of the dyadic tree for window queries; disabled
+  // when config_.window_capacity == 0.
+  std::optional<SlidingWindowRing<S>> ring_;
 };
 
 }  // namespace mergeable

@@ -1,0 +1,127 @@
+// A flat open-addressing map from uint64_t items to array slot numbers
+// with O(1) worst-case Clear().
+//
+// FlatSlotIndex (the amortized SpaceSaving index) clears by rewriting
+// every cell — an O(capacity) scan. That is fine when clears are rare,
+// but the deamortized summary swaps its active table on a hot path that
+// promises strict O(1) worst-case work per update, so its index must
+// reset in constant time. The trick is a generation stamp: each cell
+// records the generation it was written in, and a cell is live only if
+// its stamp matches the table's current generation. Clear() bumps the
+// generation; every existing cell becomes logically empty without being
+// touched. The (unreachable in practice) 2^32-generation wrap does the
+// one eager rewrite needed to keep stale stamps from resurrecting.
+//
+// There is no Erase: the deamortized tables never delete individual
+// entries (an entire table retires at once), which is exactly what
+// makes tombstone-free linear probing — and the generation trick —
+// sound here.
+
+#ifndef MERGEABLE_UTIL_GEN_SLOT_INDEX_H_
+#define MERGEABLE_UTIL_GEN_SLOT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/hash.h"
+
+namespace mergeable {
+
+class GenSlotIndex {
+ public:
+  // Creates an empty index able to hold `expected_entries` live entries
+  // without rebuilding.
+  explicit GenSlotIndex(size_t expected_entries = 8) {
+    cells_.assign(SlotsFor(expected_entries), Cell{});
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Bulk table rebuilds performed so far (growth only; Clear never
+  // rebuilds). The initial allocation does not count.
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  // Returns the slot stored for `key`, or nullopt if absent.
+  std::optional<uint32_t> Find(uint64_t key) const {
+    const size_t mask = cells_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (true) {
+      const Cell& cell = cells_[index];
+      if (cell.gen != gen_) return std::nullopt;
+      if (cell.key == key) return cell.slot;
+      index = (index + 1) & mask;
+    }
+  }
+
+  // Inserts `key -> slot`. The key must be absent (checked in debug
+  // builds: inserting a present key would shadow it).
+  void Insert(uint64_t key, uint32_t slot) {
+    MERGEABLE_DCHECK(!Find(key).has_value());
+    if ((size_ + 1) * 10 > cells_.size() * 7) Rebuild(cells_.size() * 2);
+    const size_t mask = cells_.size() - 1;
+    size_t index = MixHash(key) & mask;
+    while (cells_[index].gen == gen_) index = (index + 1) & mask;
+    cells_[index] = Cell{key, slot, gen_};
+    ++size_;
+  }
+
+  // Drops every entry in O(1): bumps the generation so existing cells
+  // become logically empty. Capacity is kept.
+  void Clear() {
+    size_ = 0;
+    if (++gen_ == 0) {
+      // Generation wrapped: stale cells from 2^32 clears ago would read
+      // as live. Rewrite once and restart the cycle.
+      for (Cell& cell : cells_) cell = Cell{};
+      gen_ = 1;
+    }
+  }
+
+  // Ensures `expected_entries` live entries fit without a rebuild.
+  void Reserve(size_t expected_entries) {
+    const size_t wanted = SlotsFor(expected_entries);
+    if (wanted > cells_.size()) Rebuild(wanted);
+  }
+
+ private:
+  struct Cell {
+    uint64_t key = 0;
+    uint32_t slot = 0;
+    uint32_t gen = 0;  // Live iff equal to the table's gen_ (never 0).
+  };
+
+  static size_t SlotsFor(size_t entries) {
+    size_t slots = 16;
+    // Keep load factor below 0.7.
+    while (slots * 7 < entries * 10) slots *= 2;
+    return slots;
+  }
+
+  void Rebuild(size_t new_slots) {
+    MERGEABLE_DCHECK((new_slots & (new_slots - 1)) == 0);
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_slots, Cell{});
+    const size_t mask = cells_.size() - 1;
+    for (const Cell& cell : old) {
+      if (cell.gen != gen_) continue;
+      size_t index = MixHash(cell.key) & mask;
+      while (cells_[index].gen == gen_) index = (index + 1) & mask;
+      cells_[index] = cell;
+    }
+    ++rebuilds_;
+  }
+
+  std::vector<Cell> cells_;
+  size_t size_ = 0;
+  uint32_t gen_ = 1;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_GEN_SLOT_INDEX_H_

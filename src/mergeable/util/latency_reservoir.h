@@ -1,0 +1,111 @@
+// Bounded-memory latency recording: a uniform reservoir sample of the
+// observations (Vitter's algorithm R) plus the exact extremes, count,
+// and sum. Percentiles interpolate between adjacent order statistics of
+// the sorted sample — the linear "rank = p/100 * (n-1)" rule — instead
+// of truncating the fractional rank, which for small samples silently
+// reports a lower percentile than asked (p99.9 of 1000 samples
+// truncates to index 998, i.e. p99.8). The max is tracked exactly
+// outside the reservoir, because worst-case latency is the one statistic
+// a sample must never miss; Percentile(100) returns it.
+
+#ifndef MERGEABLE_UTIL_LATENCY_RESERVOIR_H_
+#define MERGEABLE_UTIL_LATENCY_RESERVOIR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mergeable/util/check.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+
+// Interpolated percentile of a sorted vector: the value at fractional
+// rank p/100 * (n-1), linearly interpolated between the two adjacent
+// order statistics. p is clamped to [0, 100].
+inline double InterpolatedPercentileSorted(const std::vector<double>& sorted,
+                                           double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const double floor_rank = std::floor(rank);
+  const size_t lo = static_cast<size_t>(floor_rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - floor_rank;
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+// Sorts in place, then interpolates.
+inline double InterpolatedPercentile(std::vector<double>& values, double p) {
+  std::sort(values.begin(), values.end());
+  return InterpolatedPercentileSorted(values, p);
+}
+
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 4096, uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    MERGEABLE_CHECK_MSG(capacity > 0, "reservoir capacity must be positive");
+    sample_.reserve(capacity);
+  }
+
+  void Record(double value) {
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+    } else {
+      // Keep each seen observation with probability capacity / count —
+      // the classic reservoir step, so the sample stays uniform over
+      // the whole stream.
+      const uint64_t j = rng_.UniformInt(count_);
+      if (j < capacity_) sample_[static_cast<size_t>(j)] = value;
+    }
+    sorted_ = false;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  // Exact, never sampled away.
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Interpolated percentile over the reservoir sample. The extremes are
+  // pinned to the exact values: p == 0 returns min(), p >= 100 returns
+  // max(), so the tail report can never understate the worst case.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min();
+    if (p >= 100.0) return max();
+    if (!sorted_) {
+      std::sort(sample_.begin(), sample_.end());
+      sorted_ = true;
+    }
+    return InterpolatedPercentileSorted(sample_, p);
+  }
+
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  mutable std::vector<double> sample_;
+  mutable bool sorted_ = false;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_UTIL_LATENCY_RESERVOIR_H_

@@ -1,0 +1,281 @@
+// Algebraic merge laws, driven through the summary registry: which
+// codecs' merges commute and associate at the byte level, and what the
+// weaker error-level laws guarantee for the ones that do not.
+//
+// Byte-level laws run over the registry's own corpus payloads through
+// merge_payloads — the exact type-erased path the store and the
+// coordinator use — so a codec added to the registry is automatically
+// screened. The classification (commutative / associative / identity)
+// is part of each codec's contract: linear sketches (Count-Min, Count
+// Sketch, AMS, Bloom, KMV, dyadic Count-Min) are exact under any
+// regrouping; counter summaries (Misra-Gries, SpaceSaving) commute
+// byte-for-byte thanks to their canonical sorted encodings but
+// associate only at the error level (each merge step prunes, so
+// different groupings may keep different near-threshold counters while
+// both staying inside epsilon * n); sampling and randomized-compaction
+// types (reservoir, mergeable quantiles) promise only distributional
+// laws and are exercised by their own suites.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/frequency/deamortized_space_saving.h"
+#include "mergeable/frequency/exact_counter.h"
+#include "mergeable/frequency/misra_gries.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+// Tags whose merge is byte-commutative: merge_payloads(a, b) ==
+// merge_payloads(b, a) for any two compatible payloads.
+bool IsByteCommutative(SummaryTag tag) {
+  switch (tag) {
+    // SpaceSaving is absent: its merged counter VALUES commute, but the
+    // per-counter `over` bookkeeping is asymmetric once populated, so
+    // the bytes differ with the operand order. (DeamortizedSpaceSaving,
+    // which shares the tag's wire format but rebuilds with over = 0 on
+    // merge, IS byte-commutative — asserted in its own suite.) The
+    // estimate-level commutativity SpaceSaving does guarantee is
+    // covered by CounterGroupingTest below.
+    case SummaryTag::kMisraGries:
+    case SummaryTag::kCountMin:
+    case SummaryTag::kCountSketch:
+    case SummaryTag::kAms:
+    case SummaryTag::kBloom:
+    case SummaryTag::kDyadicCountMin:
+      return true;
+    // KMV is set-union semantically, but its codec serializes the heap
+    // array in insertion-dependent order — not canonical, so its merge
+    // commutes as a set, not as bytes. Its own suite covers the
+    // estimate-level laws.
+    default:
+      return false;
+  }
+}
+
+// Tags whose merge is byte-associative (linear / set-union semantics:
+// the merged state is a pure function of the multiset of inputs).
+bool IsByteAssociative(SummaryTag tag) {
+  switch (tag) {
+    case SummaryTag::kCountMin:
+    case SummaryTag::kCountSketch:
+    case SummaryTag::kAms:
+    case SummaryTag::kBloom:
+    case SummaryTag::kDyadicCountMin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Tags for which the corpus's empty instance is a byte-level identity:
+// merge_payloads(x, empty) == canonical(x).
+bool HasByteIdentity(SummaryTag tag) {
+  switch (tag) {
+    case SummaryTag::kMisraGries:
+    case SummaryTag::kCountMin:
+    case SummaryTag::kCountSketch:
+    case SummaryTag::kAms:
+    case SummaryTag::kBloom:
+    case SummaryTag::kDyadicCountMin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// canonical(x): what merge-with-canonical-self-0 would produce — the
+// encode(decode(x)) fixed point the store serves. For corpus entries
+// (freshly encoded) this is x itself; asserted, not assumed.
+template <typename T>
+std::vector<uint8_t> Encode(const T& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+TEST(CoreMergePropertyTest, MergePayloadsDefinedExactlyForMergeableCodecs) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    const auto corpus = info.corpus(11);
+    ASSERT_GE(corpus.size(), 2u) << info.name;
+    const auto merged = info.merge_payloads(corpus[1], corpus[1]);
+    EXPECT_EQ(merged.has_value(), info.mergeable) << info.name;
+  }
+}
+
+TEST(CoreMergePropertyTest, CommutativityHoldsWhereCodecsAreCanonical) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    if (!info.mergeable || !IsByteCommutative(info.tag)) continue;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto corpus = info.corpus(seed);
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        for (size_t j = i; j < corpus.size(); ++j) {
+          const auto ab = info.merge_payloads(corpus[i], corpus[j]);
+          const auto ba = info.merge_payloads(corpus[j], corpus[i]);
+          ASSERT_TRUE(ab.has_value()) << info.name << " seed " << seed;
+          ASSERT_TRUE(ba.has_value()) << info.name << " seed " << seed;
+          EXPECT_EQ(*ab, *ba)
+              << info.name << " seed " << seed << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(CoreMergePropertyTest, AssociativityIsByteExactForLinearSketches) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    if (!info.mergeable || !IsByteAssociative(info.tag)) continue;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      // Three distinct contents of the same shape. Entries across
+      // different corpus seeds are NOT compatible (hash seeds differ),
+      // so the third operand is derived from the same corpus.
+      const auto corpus = info.corpus(seed);
+      const std::vector<uint8_t>& a = corpus[1];
+      const std::vector<uint8_t>& b = corpus.back();
+      const auto c_opt = info.merge_payloads(corpus[1], corpus.back());
+      ASSERT_TRUE(c_opt.has_value()) << info.name;
+      const std::vector<uint8_t>& c = *c_opt;
+      const auto ab = info.merge_payloads(a, b);
+      ASSERT_TRUE(ab.has_value()) << info.name;
+      const auto ab_c = info.merge_payloads(*ab, c);
+      const auto bc = info.merge_payloads(b, c);
+      ASSERT_TRUE(bc.has_value()) << info.name;
+      const auto a_bc = info.merge_payloads(a, *bc);
+      ASSERT_TRUE(ab_c.has_value()) << info.name;
+      ASSERT_TRUE(a_bc.has_value()) << info.name;
+      EXPECT_EQ(*ab_c, *a_bc) << info.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(CoreMergePropertyTest, EmptyInstanceIsTheMergeIdentityWhereClaimed) {
+  for (const SummaryCodecInfo& info : SummaryRegistry()) {
+    if (!info.mergeable || !HasByteIdentity(info.tag)) continue;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto corpus = info.corpus(seed);
+      const std::vector<uint8_t>& empty = corpus[0];
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        // canonical(x) spelled through the registry itself: merging the
+        // empty on the left canonicalizes without adding content, so
+        // left- and right-identity must agree with each other and with
+        // the corpus payload (which is freshly encoded, i.e. canonical).
+        const auto left = info.merge_payloads(empty, corpus[i]);
+        const auto right = info.merge_payloads(corpus[i], empty);
+        ASSERT_TRUE(left.has_value()) << info.name;
+        ASSERT_TRUE(right.has_value()) << info.name;
+        EXPECT_EQ(*right, corpus[i]) << info.name << " seed " << seed
+                                     << " entry " << i;
+        EXPECT_EQ(*left, corpus[i]) << info.name << " seed " << seed
+                                    << " entry " << i;
+      }
+    }
+  }
+}
+
+// ---- Error-level laws for the counter summaries ----
+//
+// Counter merges prune at each step, so regrouping can change which
+// near-threshold counters survive — associativity holds at the level
+// that matters for serving: every grouping obeys the epsilon * n
+// bracket against the true stream, and the total mass n is grouping-
+// independent.
+
+template <typename S>
+void CheckBracket(const S& summary, const ExactCounter& exact,
+                  double epsilon) {
+  const double budget = epsilon * static_cast<double>(exact.n());
+  ASSERT_EQ(summary.n(), exact.n());
+  for (const Counter& c : exact.Counters()) {
+    const uint64_t lower = summary.LowerEstimate(c.item);
+    const uint64_t upper = summary.UpperEstimate(c.item);
+    ASSERT_LE(lower, c.count);
+    ASSERT_GE(upper, c.count);
+    ASSERT_LE(static_cast<double>(upper - lower), budget + 1e-9);
+  }
+}
+
+template <typename S>
+class CounterGroupingTest : public ::testing::Test {};
+
+using CounterTypes =
+    ::testing::Types<MisraGries, SpaceSaving, DeamortizedSpaceSaving>;
+TYPED_TEST_SUITE(CounterGroupingTest, CounterTypes);
+
+template <typename S>
+S CounterForEpsilon(double epsilon) {
+  return S::ForEpsilon(epsilon);
+}
+
+TYPED_TEST(CounterGroupingTest, EveryGroupingKeepsTheEpsilonBracket) {
+  constexpr double kEpsilon = 0.05;
+  for (uint64_t seed = 40; seed < 48; ++seed) {
+    Rng rng(seed);
+    std::vector<TypeParam> shards;
+    std::vector<ExactCounter> exact_shards(3);
+    for (int s = 0; s < 3; ++s) {
+      shards.push_back(CounterForEpsilon<TypeParam>(kEpsilon));
+    }
+    for (int step = 0; step < 6000; ++step) {
+      uint64_t item = rng.UniformInt(uint64_t{40});
+      item = rng.UniformInt(item + 1);
+      const int s = step % 3;
+      shards[s].Update(item);
+      exact_shards[s].Update(item);
+    }
+    ExactCounter exact;
+    for (const ExactCounter& e : exact_shards) exact.Merge(e);
+
+    // (a + b) + c.
+    TypeParam left_assoc = shards[0];
+    left_assoc.Merge(shards[1]);
+    left_assoc.Merge(shards[2]);
+    CheckBracket(left_assoc, exact, kEpsilon);
+
+    // a + (b + c).
+    TypeParam right_inner = shards[1];
+    right_inner.Merge(shards[2]);
+    TypeParam right_assoc = shards[0];
+    right_assoc.Merge(right_inner);
+    CheckBracket(right_assoc, exact, kEpsilon);
+
+    // (b + a) + c: operand order within a merge is also free at the
+    // error level, whatever the bytes do.
+    TypeParam commuted = shards[1];
+    commuted.Merge(shards[0]);
+    commuted.Merge(shards[2]);
+    CheckBracket(commuted, exact, kEpsilon);
+
+    // Mass is grouping-independent even though pruning is not.
+    EXPECT_EQ(left_assoc.n(), right_assoc.n());
+    EXPECT_EQ(left_assoc.n(), commuted.n());
+    EXPECT_EQ(left_assoc.n(), exact.n());
+  }
+}
+
+TYPED_TEST(CounterGroupingTest, MergingAnEmptySummaryPreservesTheBracket) {
+  constexpr double kEpsilon = 0.05;
+  Rng rng(77);
+  TypeParam summary = CounterForEpsilon<TypeParam>(kEpsilon);
+  ExactCounter exact;
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t item = rng.UniformInt(uint64_t{30});
+    item = rng.UniformInt(item + 1);
+    summary.Update(item);
+    exact.Update(item);
+  }
+  const uint64_t n_before = summary.n();
+  summary.Merge(CounterForEpsilon<TypeParam>(kEpsilon));
+  EXPECT_EQ(summary.n(), n_before);
+  CheckBracket(summary, exact, kEpsilon);
+}
+
+}  // namespace
+}  // namespace mergeable

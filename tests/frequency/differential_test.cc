@@ -1,0 +1,184 @@
+// Differential validation of the heavy-hitter summaries: the
+// deamortized two-table summary, the classic SpaceSaving, and an exact
+// counter all consume the same seeded streams, and at every checkpoint
+// (mid-stream and after sharded merges) each approximate answer must
+// bracket the exact one within the epsilon * n contract, and every true
+// heavy hitter must be present in both summaries (the no-false-negative
+// superset guarantee). 105 distinct streams — five generator families
+// times 21 seeds — cover skew, uniform noise, distinct floods, bursts
+// of novel items, and distribution shift.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/frequency/deamortized_space_saving.h"
+#include "mergeable/frequency/exact_counter.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+constexpr double kEpsilon = 0.02;
+constexpr uint64_t kStreamLength = 12000;
+constexpr int kSeedsPerKind = 21;
+
+enum class StreamKind {
+  kZipfLike,       // Heavily skewed: item j w.p. ~ 1/(j+1).
+  kUniform,        // No heavy hitters at all.
+  kDistinctFlood,  // Every item fresh: maximum eviction pressure.
+  kBursty,         // Skewed base with bursts of novel items.
+  kShift,          // The heavy set changes halfway through.
+};
+
+constexpr StreamKind kAllKinds[] = {
+    StreamKind::kZipfLike, StreamKind::kUniform, StreamKind::kDistinctFlood,
+    StreamKind::kBursty, StreamKind::kShift,
+};
+
+uint64_t NextItem(StreamKind kind, Rng& rng, uint64_t step) {
+  switch (kind) {
+    case StreamKind::kZipfLike: {
+      uint64_t item = rng.UniformInt(uint64_t{64});
+      return rng.UniformInt(item + 1);
+    }
+    case StreamKind::kUniform:
+      return rng.UniformInt(uint64_t{100000});
+    case StreamKind::kDistinctFlood:
+      return (step << 20) | rng.UniformInt(uint64_t{1024});
+    case StreamKind::kBursty:
+      if ((step / 500) % 4 == 3) {
+        return 1000000 + (step << 8) + rng.UniformInt(uint64_t{16});
+      }
+      return rng.UniformInt(rng.UniformInt(uint64_t{32}) + 1);
+    case StreamKind::kShift: {
+      const uint64_t base = step < kStreamLength / 2 ? 0 : 500;
+      uint64_t item = rng.UniformInt(uint64_t{48});
+      return base + rng.UniformInt(item + 1);
+    }
+  }
+  return 0;
+}
+
+// The cross-summary consistency contract at one checkpoint. `slack_d`
+// and the SpaceSaving bracket must hold for every item the exact
+// counter saw, plus a sample of absent items, and every item heavier
+// than epsilon * n must be monitored by both summaries.
+void CheckCheckpoint(const DeamortizedSpaceSaving& d, const SpaceSaving& ss,
+                     const ExactCounter& exact, uint64_t seed) {
+  const uint64_t n = exact.n();
+  ASSERT_EQ(d.n(), n) << "seed " << seed;
+  ASSERT_EQ(ss.n(), n) << "seed " << seed;
+  const double budget = kEpsilon * static_cast<double>(n);
+
+  // The approximation contracts, item by item against ground truth.
+  const uint64_t d_slack = d.UnderSlack();
+  EXPECT_LE(static_cast<double>(d_slack), budget) << "seed " << seed;
+  for (const Counter& c : exact.Counters()) {
+    const uint64_t truth = c.count;
+    const uint64_t d_lower = d.Count(c.item);
+    ASSERT_LE(d_lower, truth) << "seed " << seed << " item " << c.item;
+    ASSERT_GE(d_lower + d_slack, truth)
+        << "seed " << seed << " item " << c.item;
+    ASSERT_LE(ss.LowerEstimate(c.item), truth)
+        << "seed " << seed << " item " << c.item;
+    ASSERT_GE(ss.UpperEstimate(c.item), truth)
+        << "seed " << seed << " item " << c.item;
+    ASSERT_LE(static_cast<double>(ss.UpperEstimate(c.item) -
+                                  ss.LowerEstimate(c.item)),
+              budget + 1e-9)
+        << "seed " << seed << " item " << c.item;
+  }
+  // Items never seen: both summaries must admit they may have missed at
+  // most their slack, never claim a positive lower bound.
+  Rng probe(seed ^ 0xabcdef);
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t absent = (uint64_t{1} << 40) + probe.Next() % 1000;
+    if (exact.Count(absent) != 0) continue;
+    EXPECT_EQ(d.Count(absent), 0u);
+    EXPECT_EQ(ss.LowerEstimate(absent), 0u);
+  }
+
+  // Superset guarantee: a true heavy hitter (frequency > epsilon * n)
+  // is always monitored — by D because an untracked item's frequency is
+  // at most UnderSlack <= epsilon * n, and by SpaceSaving because an
+  // unmonitored item's upper bound is at most its epsilon budget.
+  for (const Counter& c : exact.Counters()) {
+    if (static_cast<double>(c.count) <= budget) continue;
+    EXPECT_GT(d.Count(c.item), 0u)
+        << "D lost heavy hitter " << c.item << " seed " << seed;
+    EXPECT_GT(ss.Count(c.item), 0u)
+        << "SS lost heavy hitter " << c.item << " seed " << seed;
+  }
+}
+
+TEST(DifferentialTest, StreamingCheckpointsHoldAcross105SeededStreams) {
+  for (const StreamKind kind : kAllKinds) {
+    for (int seed_index = 0; seed_index < kSeedsPerKind; ++seed_index) {
+      const uint64_t seed =
+          7000 + static_cast<uint64_t>(kind) * 100 +
+          static_cast<uint64_t>(seed_index);
+      Rng rng(seed);
+      DeamortizedSpaceSaving d = DeamortizedSpaceSaving::ForEpsilon(kEpsilon);
+      SpaceSaving ss = SpaceSaving::ForEpsilon(kEpsilon);
+      ExactCounter exact;
+      for (uint64_t step = 0; step < kStreamLength; ++step) {
+        const uint64_t item = NextItem(kind, rng, step);
+        d.Update(item);
+        ss.Update(item);
+        exact.Update(item);
+        // Checkpoints at the quartiles and the end — mid-drain states
+        // included, since kStreamLength is not aligned to swaps.
+        if ((step + 1) % (kStreamLength / 4) == 0) {
+          CheckCheckpoint(d, ss, exact, seed);
+        }
+      }
+      ASSERT_EQ(d.maintenance_stalls(), 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DifferentialTest, PostMergeCheckpointsHoldAcrossShardings) {
+  // Every stream is split round-robin across 4 shards; each shard feeds
+  // its own D / SS / exact instance, and the merged results must keep
+  // the same epsilon * n contract the streaming test demands —
+  // mergeability means the bound survives the split, for any of the
+  // summaries, on the identical stream.
+  constexpr int kShards = 4;
+  for (const StreamKind kind : kAllKinds) {
+    for (int seed_index = 0; seed_index < kSeedsPerKind; ++seed_index) {
+      const uint64_t seed =
+          9000 + static_cast<uint64_t>(kind) * 100 +
+          static_cast<uint64_t>(seed_index);
+      Rng rng(seed);
+      std::vector<DeamortizedSpaceSaving> d_shards(
+          kShards, DeamortizedSpaceSaving::ForEpsilon(kEpsilon));
+      std::vector<SpaceSaving> ss_shards(kShards,
+                                         SpaceSaving::ForEpsilon(kEpsilon));
+      std::vector<ExactCounter> exact_shards(kShards);
+      for (uint64_t step = 0; step < kStreamLength; ++step) {
+        const uint64_t item = NextItem(kind, rng, step);
+        const int shard = static_cast<int>(step % kShards);
+        d_shards[shard].Update(item);
+        ss_shards[shard].Update(item);
+        exact_shards[shard].Update(item);
+      }
+      // Balanced merge: (0+1) + (2+3), the datacenter shape.
+      for (const int left : {0, 2}) {
+        d_shards[left].Merge(d_shards[left + 1]);
+        ss_shards[left].Merge(ss_shards[left + 1]);
+        exact_shards[left].Merge(exact_shards[left + 1]);
+      }
+      d_shards[0].Merge(d_shards[2]);
+      ss_shards[0].Merge(ss_shards[2]);
+      exact_shards[0].Merge(exact_shards[2]);
+      CheckCheckpoint(d_shards[0], ss_shards[0], exact_shards[0], seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,407 @@
+// Sliding-window serving (store/window.h): the resident ring must be
+// indistinguishable from the store answering the same suffix — the
+// acceptance bar is byte-identity, not approximate agreement — and its
+// epsilon reports must widen on degraded epochs exactly as the store's
+// do. The server-level window path (EpochService + QRY1 window field)
+// is exercised end-to-end through encoded frames.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/aggregate/storage.h"
+#include "mergeable/aggregate/wire.h"
+#include "mergeable/frequency/deamortized_space_saving.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/quantiles/mergeable_quantiles.h"
+#include "mergeable/server/epoch_service.h"
+#include "mergeable/store/summary_store.h"
+#include "mergeable/store/window.h"
+#include "mergeable/util/bytes.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+constexpr uint64_t kStream = 7;
+
+template <typename S>
+std::vector<uint8_t> Encode(const S& summary) {
+  ByteWriter writer;
+  summary.EncodeTo(writer);
+  return writer.TakeBytes();
+}
+
+SpaceSaving EpochSummary(uint64_t epoch) {
+  SpaceSaving summary = SpaceSaving::ForEpsilon(0.05);
+  Rng rng(900 + epoch);
+  for (int i = 0; i < 200; ++i) {
+    summary.Update(rng.Bernoulli(0.5) ? rng.UniformInt(12) : 40 + epoch % 7);
+  }
+  return summary;
+}
+
+EpochMeta MetaFor(uint64_t epoch, const SpaceSaving& summary) {
+  EpochMeta meta;
+  meta.epoch = epoch;
+  meta.n = summary.n();
+  meta.shards_total = 4;
+  meta.shards_received = 4;
+  return meta;
+}
+
+// Seals `epochs` summaries into both the store and the ring, as the
+// serving tier would: same summary, same meta, same relative index.
+void FillBoth(SummaryStore<SpaceSaving>& store,
+              SlidingWindowRing<SpaceSaving>& ring, uint64_t epochs) {
+  for (uint64_t epoch = 0; epoch < epochs; ++epoch) {
+    const SpaceSaving summary = EpochSummary(epoch);
+    const EpochMeta meta = MetaFor(epoch, summary);
+    ASSERT_TRUE(store.Seal(kStream, summary, meta));
+    ring.OnSeal(epoch, summary, meta);
+  }
+}
+
+TEST(WindowTest, EveryWindowMatchesTheStoreByteForByte) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  constexpr uint64_t kEpochs = 40;
+  SlidingWindowRing<SpaceSaving> ring(kEpochs, store.options().epsilon);
+  FillBoth(store, ring, kEpochs);
+  for (uint64_t w = 1; w <= kEpochs; ++w) {
+    const auto window = ring.Query(w);
+    ASSERT_TRUE(window.has_value()) << w;
+    EXPECT_EQ(window->lo, kEpochs - w);
+    EXPECT_EQ(window->hi, kEpochs - 1);
+    const auto range = store.QueryRangePayload(kStream, kEpochs - w,
+                                               kEpochs - 1);
+    ASSERT_TRUE(range.has_value()) << w;
+    EXPECT_EQ(window->payload, *range->payload) << "w=" << w;
+    EXPECT_DOUBLE_EQ(window->eps.received_bound, range->eps.received_bound);
+    EXPECT_EQ(window->eps.n_received, range->eps.n_received);
+    EXPECT_EQ(window->eps.epochs, w);
+  }
+}
+
+TEST(WindowTest, WindowAnswerEqualsExplicitLeafMerge) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  constexpr uint64_t kEpochs = 21;
+  SlidingWindowRing<SpaceSaving> ring(kEpochs, store.options().epsilon);
+  FillBoth(store, ring, kEpochs);
+  for (const uint64_t w : {1u, 2u, 5u, 13u, 21u}) {
+    const auto window = ring.Query(w);
+    ASSERT_TRUE(window.has_value());
+    // The finest possible regrouping: merge the covered leaves one by
+    // one, left-deep, with the canonical merge. Byte-stability across
+    // regroupings is the store's core invariant; the window's answer
+    // must sit on the same canonical point.
+    std::optional<SpaceSaving> merged;
+    for (uint64_t epoch = kEpochs - w; epoch < kEpochs; ++epoch) {
+      const SpaceSaving leaf = EpochSummary(epoch);
+      if (merged.has_value()) {
+        CanonicalMergeInto(*merged, leaf);
+      } else {
+        merged = CanonicalForm(leaf);
+      }
+    }
+    // w == 1 serves the sealed leaf verbatim (no canonicalization), so
+    // compare through a round-trip on both sides.
+    const SpaceSaving decoded =
+        DecodeSummaryOrDie<SpaceSaving>(window->payload);
+    EXPECT_EQ(Encode(CanonicalForm(decoded)), Encode(*merged)) << "w=" << w;
+  }
+}
+
+TEST(WindowTest, DegradedEpochInsideWindowWidensTheBound) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  SlidingWindowRing<SpaceSaving> ring(32, store.options().epsilon);
+  for (uint64_t epoch = 0; epoch < 12; ++epoch) {
+    const SpaceSaving summary = EpochSummary(epoch);
+    EpochMeta meta = MetaFor(epoch, summary);
+    if (epoch == 8) {
+      meta.shards_received = 3;  // One shard lost.
+      meta.lost_mass = 500;
+    }
+    ASSERT_TRUE(store.Seal(kStream, summary, meta));
+    ring.OnSeal(epoch, summary, meta);
+  }
+  // Window [8, 11] includes the degraded epoch: bound widens by its
+  // lost mass, exactly as the store reports it.
+  const auto wide = ring.Query(4);
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(wide->eps.degraded_epochs, 1u);
+  EXPECT_EQ(wide->eps.lost_mass, 500u);
+  EXPECT_LT(wide->eps.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(wide->eps.full_stream_bound,
+                   wide->eps.received_bound + 500.0);
+  const auto store_wide = store.QueryRangePayload(kStream, 8, 11);
+  ASSERT_TRUE(store_wide.has_value());
+  EXPECT_DOUBLE_EQ(wide->eps.full_stream_bound,
+                   store_wide->eps.full_stream_bound);
+  // Window [9, 11] excludes it: clean bound.
+  const auto clean = ring.Query(3);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->eps.degraded_epochs, 0u);
+  EXPECT_EQ(clean->eps.lost_mass, 0u);
+  EXPECT_DOUBLE_EQ(clean->eps.full_stream_bound, clean->eps.received_bound);
+}
+
+TEST(WindowTest, WarmAttachServesOnlyWhatItWasFed) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  SlidingWindowRing<SpaceSaving> ring(64, store.options().epsilon);
+  // The store has 20 epochs of history; the ring attaches at epoch 12
+  // (a warm restart that lost the resident suffix).
+  for (uint64_t epoch = 0; epoch < 20; ++epoch) {
+    const SpaceSaving summary = EpochSummary(epoch);
+    const EpochMeta meta = MetaFor(epoch, summary);
+    ASSERT_TRUE(store.Seal(kStream, summary, meta));
+    if (epoch >= 12) ring.OnSeal(epoch, summary, meta);
+  }
+  // Windows inside the fed suffix serve, byte-identical to the store.
+  for (uint64_t w = 1; w <= 8; ++w) {
+    ASSERT_TRUE(ring.Covers(w)) << w;
+    const auto window = ring.Query(w);
+    ASSERT_TRUE(window.has_value());
+    const auto range = store.QueryRangePayload(kStream, 20 - w, 19);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(window->payload, *range->payload) << w;
+  }
+  // A window reaching past the attach point refuses — the caller falls
+  // back to the store instead of getting a silently-short answer.
+  EXPECT_FALSE(ring.Covers(9));
+  EXPECT_FALSE(ring.Query(9).has_value());
+  EXPECT_FALSE(ring.Query(0).has_value());
+  EXPECT_FALSE(ring.Query(65).has_value());
+}
+
+TEST(WindowTest, PruningKeepsResidencyBoundedAndAnswersExact) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  constexpr uint64_t kCapacity = 16;
+  SlidingWindowRing<SpaceSaving> ring(kCapacity, store.options().epsilon);
+  FillBoth(store, ring, 200);
+  // Residency stays ~2W regardless of stream length: W leaves plus the
+  // internal suffix nodes (at most W/2 + W/4 + ... + slack per level).
+  EXPECT_LE(ring.resident_nodes(), 2 * kCapacity + 2 * 5);
+  for (uint64_t w = 1; w <= kCapacity; ++w) {
+    const auto window = ring.Query(w);
+    ASSERT_TRUE(window.has_value()) << w;
+    const auto range = store.QueryRangePayload(kStream, 200 - w, 199);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(window->payload, *range->payload) << w;
+  }
+}
+
+TEST(WindowTest, DeamortizedSummariesServeWindowsUnchanged) {
+  // The deamortized summary drops into the window layer exactly as
+  // SpaceSaving does: same wire format, same canonical merges.
+  MemStorage storage;
+  StoreOptions options;
+  options.epsilon = 0.05;
+  SummaryStore<DeamortizedSpaceSaving> store(&storage, options);
+  SlidingWindowRing<DeamortizedSpaceSaving> ring(24, options.epsilon);
+  for (uint64_t epoch = 0; epoch < 24; ++epoch) {
+    DeamortizedSpaceSaving summary = DeamortizedSpaceSaving::ForEpsilon(0.05);
+    Rng rng(31 + epoch);
+    for (int i = 0; i < 300; ++i) {
+      summary.Update(rng.Bernoulli(0.5) ? rng.UniformInt(9) : 77 + epoch % 3);
+    }
+    EpochMeta meta;
+    meta.epoch = epoch;
+    meta.n = summary.n();
+    meta.shards_total = 1;
+    meta.shards_received = 1;
+    ASSERT_TRUE(store.Seal(kStream, summary, meta));
+    ring.OnSeal(epoch, summary, meta);
+  }
+  for (const uint64_t w : {1u, 3u, 8u, 17u, 24u}) {
+    const auto window = ring.Query(w);
+    ASSERT_TRUE(window.has_value()) << w;
+    const auto range = store.QueryRangePayload(kStream, 24 - w, 23);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(window->payload, *range->payload) << w;
+  }
+}
+
+TEST(WindowTest, PlannerSugarForwardsAndClamps) {
+  MemStorage storage;
+  SummaryStore<SpaceSaving> store(&storage);
+  for (uint64_t epoch = 0; epoch < 10; ++epoch) {
+    const SpaceSaving summary = EpochSummary(epoch);
+    ASSERT_TRUE(store.Seal(kStream, summary, MetaFor(epoch, summary)));
+  }
+  const auto resolved = ResolveWindow(store, kStream, 4);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->first, 6u);
+  EXPECT_EQ(resolved->second, 9u);
+
+  const auto window_topk = QueryWindowTopK(store, kStream, 4, 5);
+  const auto range_topk = QueryTopK(store, kStream, 6, 9, size_t{5});
+  ASSERT_TRUE(window_topk.has_value());
+  ASSERT_TRUE(range_topk.has_value());
+  ASSERT_EQ(window_topk->items.size(), range_topk->items.size());
+  for (size_t i = 0; i < range_topk->items.size(); ++i) {
+    EXPECT_EQ(window_topk->items[i].item, range_topk->items[i].item);
+    EXPECT_EQ(window_topk->items[i].count, range_topk->items[i].count);
+  }
+
+  // w larger than the history clamps to the full sealed range.
+  const auto clamped = QueryWindowPointFrequency(store, kStream, 1000, 3);
+  const auto full = QueryPointFrequency(store, kStream, 0, 9, uint64_t{3});
+  ASSERT_TRUE(clamped.has_value());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(clamped->estimate, full->estimate);
+  EXPECT_EQ(clamped->lower, full->lower);
+  EXPECT_EQ(clamped->upper, full->upper);
+
+  EXPECT_FALSE(QueryWindowTopK(store, kStream, 0, 5).has_value());
+  EXPECT_FALSE(QueryWindowTopK(store, kStream + 1, 4, 5).has_value());
+}
+
+TEST(WindowTest, QuantilePlannerServesWindows) {
+  MemStorage storage;
+  StoreOptions options;
+  options.epsilon = 0.02;
+  SummaryStore<MergeableQuantiles> store(&storage, options);
+  for (uint64_t epoch = 0; epoch < 8; ++epoch) {
+    MergeableQuantiles summary = MergeableQuantiles::ForEpsilon(0.02, 5);
+    Rng rng(60 + epoch);
+    for (int i = 0; i < 500; ++i) {
+      summary.Update(static_cast<double>(epoch * 1000 + rng.UniformInt(1000)));
+    }
+    EpochMeta meta;
+    meta.epoch = epoch;
+    meta.n = summary.n();
+    ASSERT_TRUE(store.Seal(kStream, summary, meta));
+  }
+  const auto window = QueryWindowQuantile(store, kStream, 2, 0.5);
+  const auto range = QueryQuantile(store, kStream, 6, 7, 0.5);
+  ASSERT_TRUE(window.has_value());
+  ASSERT_TRUE(range.has_value());
+  EXPECT_DOUBLE_EQ(window->value, range->value);
+  // The last two epochs hold values in [6000, 8000): the window median
+  // must come from them, not from the stream's full history.
+  EXPECT_GE(window->value, 6000.0);
+}
+
+// ---- Server path: QRY1 window queries end to end ----
+
+class WindowServiceTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kShards = 2;
+
+  WindowServiceTest()
+      : store_(&storage_, StoreOptions{}), service_(&store_, Config()) {}
+
+  static EpochServiceConfig Config() {
+    EpochServiceConfig config;
+    config.stream = 1;
+    config.shards_per_epoch = kShards;
+    config.window_capacity = 8;
+    return config;
+  }
+
+  // Reports one summary per shard for `epoch` and seals it.
+  void RunEpoch(uint64_t epoch) {
+    uint64_t offered = 0;
+    for (uint64_t shard = 0; shard < kShards; ++shard) {
+      SpaceSaving summary = SpaceSaving::ForEpsilon(0.05);
+      Rng rng(epoch * 10 + shard);
+      for (int i = 0; i < 150; ++i) summary.Update(rng.UniformInt(30));
+      offered += summary.n();
+      WireReport report;
+      report.shard_id = shard;
+      report.epoch = epoch;
+      report.payload = Encode(summary);
+      const auto verdict =
+          DecodeControlFrame(service_.HandleReport(EncodeReportFrame(report)));
+      ASSERT_TRUE(verdict.has_value());
+      ASSERT_EQ(verdict->code, ControlCode::kAccepted);
+    }
+    ASSERT_TRUE(service_.SealEpoch(epoch, offered));
+  }
+
+  WireAnswer Ask(uint64_t window) {
+    WireQuery query;
+    query.stream = 1;
+    query.window = window;
+    const auto answer =
+        DecodeAnswerFrame(service_.HandleQuery(EncodeQueryFrame(query)));
+    EXPECT_TRUE(answer.has_value());
+    return *answer;
+  }
+
+  MemStorage storage_;
+  SummaryStore<SpaceSaving> store_;
+  EpochService<SpaceSaving> service_;
+};
+
+TEST_F(WindowServiceTest, WindowQueryResolvesToSuffixAndMatchesRange) {
+  for (uint64_t epoch = 0; epoch < 12; ++epoch) RunEpoch(epoch);
+  const WireAnswer window = Ask(5);
+  ASSERT_EQ(window.status, AnswerStatus::kOk);
+  EXPECT_EQ(window.t1, 7u);
+  EXPECT_EQ(window.t2, 11u);
+  EXPECT_EQ(window.epochs_covered, 5u);
+
+  WireQuery range;
+  range.stream = 1;
+  range.t1 = 7;
+  range.t2 = 11;
+  const auto explicit_range =
+      DecodeAnswerFrame(service_.HandleQuery(EncodeQueryFrame(range)));
+  ASSERT_TRUE(explicit_range.has_value());
+  ASSERT_EQ(explicit_range->status, AnswerStatus::kOk);
+  // The acceptance bar: a ring-served window answer is byte-identical
+  // to the store-served absolute range.
+  EXPECT_EQ(window.payload, explicit_range->payload);
+  EXPECT_DOUBLE_EQ(window.full_stream_bound,
+                   explicit_range->full_stream_bound);
+  const EpochServiceStats stats = service_.stats();
+  EXPECT_EQ(stats.queries_window, 1u);
+  EXPECT_EQ(stats.queries_window_ring, 1u);
+}
+
+TEST_F(WindowServiceTest, OversizedWindowFallsBackToStoreByteIdentically) {
+  for (uint64_t epoch = 0; epoch < 12; ++epoch) RunEpoch(epoch);
+  // w = 10 exceeds the ring capacity of 8: the store path answers.
+  const WireAnswer fallback = Ask(10);
+  ASSERT_EQ(fallback.status, AnswerStatus::kOk);
+  EXPECT_EQ(fallback.t1, 2u);
+  EXPECT_EQ(fallback.t2, 11u);
+
+  WireQuery range;
+  range.stream = 1;
+  range.t1 = 2;
+  range.t2 = 11;
+  const auto explicit_range =
+      DecodeAnswerFrame(service_.HandleQuery(EncodeQueryFrame(range)));
+  ASSERT_TRUE(explicit_range.has_value());
+  EXPECT_EQ(fallback.payload, explicit_range->payload);
+  const EpochServiceStats stats = service_.stats();
+  EXPECT_EQ(stats.queries_window, 1u);
+  EXPECT_EQ(stats.queries_window_ring, 0u);
+}
+
+TEST_F(WindowServiceTest, WindowClampsToHistoryAndRefusesEmptyStream) {
+  // No epochs sealed yet: refused, not aborted.
+  const WireAnswer empty = Ask(4);
+  EXPECT_EQ(empty.status, AnswerStatus::kUnknownRange);
+
+  for (uint64_t epoch = 0; epoch < 3; ++epoch) RunEpoch(epoch);
+  const WireAnswer clamped = Ask(100);
+  ASSERT_EQ(clamped.status, AnswerStatus::kOk);
+  EXPECT_EQ(clamped.t1, 0u);
+  EXPECT_EQ(clamped.t2, 2u);
+  EXPECT_EQ(clamped.epochs_covered, 3u);
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,79 @@
+#include "mergeable/util/gen_slot_index.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(GenSlotIndexTest, InsertAndFind) {
+  GenSlotIndex index(16);
+  EXPECT_TRUE(index.empty());
+  index.Insert(42, 0);
+  index.Insert(7, 1);
+  ASSERT_TRUE(index.Find(42).has_value());
+  EXPECT_EQ(*index.Find(42), 0u);
+  EXPECT_EQ(*index.Find(7), 1u);
+  EXPECT_FALSE(index.Find(9).has_value());
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(GenSlotIndexTest, ClearIsLogicalNotPhysical) {
+  GenSlotIndex index(8);
+  for (uint32_t i = 0; i < 8; ++i) index.Insert(i, i);
+  index.Clear();
+  EXPECT_TRUE(index.empty());
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(index.Find(i).has_value()) << i;
+  }
+  // Old keys can re-enter with new slots after the clear.
+  index.Insert(3, 99);
+  EXPECT_EQ(*index.Find(3), 99u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(GenSlotIndexTest, ManyGenerationsStayConsistent) {
+  GenSlotIndex index(64);
+  Rng rng(2024);
+  for (int gen = 0; gen < 1000; ++gen) {
+    std::unordered_map<uint64_t, uint32_t> reference;
+    for (uint32_t slot = 0; slot < 64; ++slot) {
+      const uint64_t key = rng.Next();
+      if (reference.count(key)) continue;
+      reference[key] = slot;
+      index.Insert(key, slot);
+    }
+    for (const auto& [key, slot] : reference) {
+      ASSERT_TRUE(index.Find(key).has_value());
+      EXPECT_EQ(*index.Find(key), slot);
+    }
+    // A key from a prior generation must not resurrect.
+    EXPECT_FALSE(index.Find(rng.Next()).has_value());
+    index.Clear();
+  }
+}
+
+TEST(GenSlotIndexTest, GrowsBeyondReservation) {
+  GenSlotIndex index(4);
+  for (uint32_t i = 0; i < 4096; ++i) index.Insert(i * 2654435761u, i);
+  EXPECT_EQ(index.size(), 4096u);
+  for (uint32_t i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(index.Find(i * 2654435761u).has_value());
+    EXPECT_EQ(*index.Find(i * 2654435761u), i);
+  }
+  EXPECT_GT(index.rebuilds(), 0u);
+}
+
+TEST(GenSlotIndexTest, ReservePreventsRebuilds) {
+  GenSlotIndex index(1024);
+  for (uint32_t i = 0; i < 1024; ++i) index.Insert(i * 0x9e3779b9u, i);
+  EXPECT_EQ(index.rebuilds(), 0u);
+}
+
+}  // namespace
+}  // namespace mergeable

@@ -1,0 +1,104 @@
+// The latency reservoir and the interpolated percentile rule it (and
+// the bench harness) use. The interpolation cases pin down the exact
+// arithmetic — including the small-sample tails where the old
+// truncating index math reported a lower percentile than asked.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mergeable/util/latency_reservoir.h"
+#include "mergeable/util/random.h"
+
+namespace mergeable {
+namespace {
+
+TEST(InterpolatedPercentileTest, KnownSmallDistributions) {
+  // Four values: fractional ranks interpolate, they do not truncate.
+  std::vector<double> four = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(four, 0), 10.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(four, 100), 40.0);
+  // rank = 1.5 -> halfway between 20 and 30. Truncation would say 20.
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(four, 50), 25.0);
+  // rank = 0.75 -> 10 + 0.75 * 10.
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(four, 25), 17.5);
+
+  std::vector<double> single = {7.0};
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(single, 50), 7.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(empty, 99), 0.0);
+}
+
+TEST(InterpolatedPercentileTest, UniformRampIsExact) {
+  // 0..100 ramp: the interpolated percentile of p is exactly p.
+  std::vector<double> ramp;
+  for (int i = 100; i >= 0; --i) ramp.push_back(static_cast<double>(i));
+  for (double p : {0.0, 12.5, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(InterpolatedPercentile(ramp, p), p) << "p=" << p;
+  }
+}
+
+TEST(InterpolatedPercentileTest, TailIsNotTruncatedAway) {
+  // 1000 samples of 1.0 plus one 100.0 outlier: p99.9 has fractional
+  // rank 999.999 * 0.999 -- the truncating rule lands on a 1.0 sample
+  // and hides the outlier's pull entirely at p = 99.95.
+  std::vector<double> values(1000, 1.0);
+  values.push_back(100.0);
+  const double p9995 = InterpolatedPercentile(values, 99.95);
+  EXPECT_GT(p9995, 1.0);
+  EXPECT_LE(p9995, 100.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPercentile(values, 100), 100.0);
+}
+
+TEST(LatencyReservoirTest, ExactStatisticsBelowCapacity) {
+  LatencyReservoir reservoir(64);
+  for (double v : {5.0, 1.0, 9.0, 3.0}) reservoir.Record(v);
+  EXPECT_EQ(reservoir.count(), 4u);
+  EXPECT_DOUBLE_EQ(reservoir.min(), 1.0);
+  EXPECT_DOUBLE_EQ(reservoir.max(), 9.0);
+  EXPECT_DOUBLE_EQ(reservoir.mean(), 4.5);
+  // Below capacity the sample is the full stream, so percentiles are
+  // the interpolated exact ones: rank 1.5 between 3 and 5.
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(100), 9.0);
+}
+
+TEST(LatencyReservoirTest, MaxIsExactEvenWhenSampled) {
+  // 100k observations through a 256-slot reservoir: the single max at
+  // an arbitrary position must survive, because it is tracked outside
+  // the sample.
+  LatencyReservoir reservoir(256, 9);
+  for (int i = 0; i < 100000; ++i) {
+    reservoir.Record(i == 73123 ? 5000.0 : 1.0 + (i % 7) * 0.1);
+  }
+  EXPECT_EQ(reservoir.count(), 100000u);
+  EXPECT_EQ(reservoir.sample_size(), 256u);
+  EXPECT_DOUBLE_EQ(reservoir.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(100), 5000.0);
+}
+
+TEST(LatencyReservoirTest, SampledPercentilesTrackTheDistribution) {
+  // Uniform [0, 1000): a 4096-slot sample of 200k draws puts p50 and
+  // p90 within a few percent of truth.
+  LatencyReservoir reservoir(4096, 17);
+  Rng rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    reservoir.Record(static_cast<double>(rng.UniformInt(uint64_t{1000})));
+  }
+  EXPECT_NEAR(reservoir.Percentile(50), 500.0, 30.0);
+  EXPECT_NEAR(reservoir.Percentile(90), 900.0, 30.0);
+}
+
+TEST(LatencyReservoirTest, RecordAfterPercentileKeepsCounting) {
+  LatencyReservoir reservoir(8);
+  for (int i = 0; i < 5; ++i) reservoir.Record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(100), 4.0);
+  reservoir.Record(10.0);  // Sorting for the percentile must not freeze the sample.
+  EXPECT_DOUBLE_EQ(reservoir.Percentile(100), 10.0);
+  EXPECT_EQ(reservoir.count(), 6u);
+}
+
+}  // namespace
+}  // namespace mergeable
