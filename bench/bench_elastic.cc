@@ -1,0 +1,200 @@
+// Experiment E17 — accuracy and footprint vs. resize schedule.
+//
+// The elasticity claim: a sketch that shrinks mid-stream keeps a
+// *provable* (wider) bound instead of breaking, and one that expands
+// mid-stream converges back toward the wide-static bound as new mass
+// lands at the finer resolution. This bench quantifies the price of
+// each schedule against the two static baselines.
+//
+// For each workload (Zipf 0.9 / Zipf 1.3 / uniform), a stream of n
+// updates runs through five ElasticCountMin schedules
+//
+//   static-wide    width W throughout          (floor: best accuracy)
+//   static-narrow  width W/8 throughout        (ceiling: worst bound)
+//   expand-mid     W/8, Expand(W) at n/2
+//   shrink-mid     W, Shrink(W/8) at n/2
+//   oscillate      W/8 <-> W every n/8 updates
+//
+// reporting realized max error over the true counts, the analytic
+// ErrorBound(), its ratio to the static-wide bound, and peak counters
+// (memory). SpaceSaving runs the same shape with capacity schedules
+// (grow-mid / trim-mid vs static), reporting realized error vs the
+// UnderSlack() budget. `--smoke` shrinks streams so CI exercises every
+// schedule in seconds; the JSON mirror lands in BENCH_elastic.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "mergeable/elastic/elastic_count_min.h"
+#include "mergeable/frequency/space_saving.h"
+#include "mergeable/stream/generators.h"
+
+namespace mergeable::bench {
+namespace {
+
+bool g_smoke = false;
+
+constexpr int kDepth = 4;
+constexpr uint64_t kSeed = 17;
+
+struct SketchSchedule {
+  const char* name;
+  int start_width;
+  // Resize points as (fraction numerator of n in eighths, width).
+  std::vector<std::pair<int, int>> changes;
+};
+
+std::vector<SketchSchedule> SketchSchedules(int wide, int narrow) {
+  return {
+      {"static-wide", wide, {}},
+      {"static-narrow", narrow, {}},
+      {"expand-mid", narrow, {{4, wide}}},
+      {"shrink-mid", wide, {{4, narrow}}},
+      {"oscillate",
+       narrow,
+       {{1, wide}, {2, narrow}, {3, wide}, {4, narrow}, {5, wide},
+        {6, narrow}, {7, wide}}},
+  };
+}
+
+void RunSketchCell(const std::vector<uint64_t>& stream,
+                   const SketchSchedule& schedule, double wide_bound) {
+  ElasticCountMin sketch(kDepth, schedule.start_width, kSeed);
+  size_t next_change = 0;
+  size_t peak_counters = sketch.TotalCounters();
+  const size_t n = stream.size();
+  for (size_t i = 0; i < n; ++i) {
+    while (next_change < schedule.changes.size() &&
+           i == n / 8 * static_cast<size_t>(
+                            schedule.changes[next_change].first)) {
+      const int target = schedule.changes[next_change].second;
+      if (target > sketch.width()) {
+        sketch.Expand(target);
+      } else if (target < sketch.width()) {
+        sketch.Shrink(target);
+      }
+      ++next_change;
+    }
+    sketch.Update(stream[i]);
+    peak_counters = std::max(peak_counters, sketch.TotalCounters());
+  }
+  const auto truth = TrueCounts(stream);
+  const uint64_t realized = MaxAbsError(
+      truth, [&sketch](uint64_t item) { return sketch.Estimate(item); });
+  PrintRow({schedule.name, FormatU64(realized),
+            FormatDouble(sketch.ErrorBound(), 1),
+            FormatDouble(sketch.ErrorBound() / wide_bound, 3),
+            FormatU64(peak_counters),
+            FormatU64(sketch.num_levels())});
+}
+
+struct CounterSchedule {
+  const char* name;
+  int start_capacity;
+  std::vector<std::pair<int, int>> changes;  // (eighths of n, capacity).
+};
+
+void RunCounterCell(const std::vector<uint64_t>& stream,
+                    const CounterSchedule& schedule) {
+  SpaceSaving summary(schedule.start_capacity);
+  size_t next_change = 0;
+  const size_t n = stream.size();
+  for (size_t i = 0; i < n; ++i) {
+    while (next_change < schedule.changes.size() &&
+           i == n / 8 * static_cast<size_t>(
+                            schedule.changes[next_change].first)) {
+      summary.Resize(schedule.changes[next_change].second);
+      ++next_change;
+    }
+    summary.Update(stream[i]);
+  }
+  const auto truth = TrueCounts(stream);
+  // Realized one-sided error of the upper estimate (what the bracket
+  // bounds by UnderSlack + overcount slack).
+  uint64_t worst_over = 0;
+  for (const auto& [item, count] : truth) {
+    const uint64_t upper = summary.UpperEstimate(item);
+    if (upper > count) worst_over = std::max(worst_over, upper - count);
+  }
+  PrintRow({schedule.name, FormatU64(worst_over),
+            FormatU64(summary.UnderSlack()),
+            FormatU64(summary.MinCount()),
+            FormatU64(static_cast<uint64_t>(summary.capacity()))});
+}
+
+std::vector<StreamSpec> Workloads() {
+  std::vector<StreamSpec> specs;
+  for (double alpha : {0.9, 1.3}) {
+    StreamSpec spec;
+    spec.kind = StreamKind::kZipf;
+    spec.n = g_smoke ? (1 << 15) : (1 << 19);
+    spec.universe = 1 << 13;
+    spec.alpha = alpha;
+    specs.push_back(spec);
+  }
+  {
+    StreamSpec spec;
+    spec.kind = StreamKind::kUniform;
+    spec.n = g_smoke ? (1 << 15) : (1 << 19);
+    spec.universe = 1 << 13;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+int Main() {
+  const int wide = 2048;
+  const int narrow = 256;
+  std::printf("E17: accuracy vs resize schedule%s\n",
+              g_smoke ? " (smoke)" : "");
+
+  for (const StreamSpec& spec : Workloads()) {
+    const auto stream = GenerateStream(spec, 7);
+    // The static-wide analytic bound normalizes the bound-ratio column.
+    const double wide_bound =
+        std::exp(1.0) * static_cast<double>(stream.size()) / wide;
+    PrintHeader("ElasticCountMin " + ToString(spec) +
+                    " (depth 4, widths 2048/256)",
+                {"schedule", "max_err", "bound", "bound/wide", "peak_cells",
+                 "levels"});
+    for (const SketchSchedule& schedule : SketchSchedules(wide, narrow)) {
+      RunSketchCell(stream, schedule, wide_bound);
+    }
+  }
+
+  const std::vector<CounterSchedule> counter_schedules = {
+      {"static-64", 64, {}},
+      {"static-512", 512, {}},
+      {"grow-mid", 64, {{4, 512}}},
+      {"trim-mid", 512, {{4, 64}}},
+      {"osc-64-512", 64, {{2, 512}, {4, 64}, {6, 512}}},
+  };
+  for (const StreamSpec& spec : Workloads()) {
+    const auto stream = GenerateStream(spec, 11);
+    PrintHeader("SpaceSaving " + ToString(spec) + " (capacities 64/512)",
+                {"schedule", "worst_over", "under_slack", "min_count",
+                 "capacity"});
+    for (const CounterSchedule& schedule : counter_schedules) {
+      RunCounterCell(stream, schedule);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mergeable::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      mergeable::bench::g_smoke = true;
+    }
+  }
+  return mergeable::bench::RunAndDump("elastic", mergeable::bench::Main);
+}

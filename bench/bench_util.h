@@ -115,6 +115,19 @@ inline std::string JsonCell(const std::string& cell) {
   return quoted;
 }
 
+// Build provenance compiled into every bench binary (set by
+// bench/CMakeLists.txt). A JSON result that cannot be traced to a
+// commit + compiler + flags is not a benchmark result.
+#ifndef MERGEABLE_BENCH_GIT_SHA
+#define MERGEABLE_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef MERGEABLE_BENCH_COMPILER
+#define MERGEABLE_BENCH_COMPILER "unknown"
+#endif
+#ifndef MERGEABLE_BENCH_FLAGS
+#define MERGEABLE_BENCH_FLAGS ""
+#endif
+
 // Writes every recorded table to BENCH_<name>.json.
 inline bool WriteBenchJson(const std::string& name) {
   const std::string path = "BENCH_" + name + ".json";
@@ -123,8 +136,17 @@ inline bool WriteBenchJson(const std::string& name) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"tables\": [",
-               JsonEscape(name).c_str());
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n", JsonEscape(name).c_str());
+  std::fprintf(file,
+               "  \"meta\": {\n"
+               "    \"git_sha\": \"%s\",\n"
+               "    \"compiler\": \"%s\",\n"
+               "    \"flags\": \"%s\"\n"
+               "  },\n",
+               JsonEscape(MERGEABLE_BENCH_GIT_SHA).c_str(),
+               JsonEscape(MERGEABLE_BENCH_COMPILER).c_str(),
+               JsonEscape(MERGEABLE_BENCH_FLAGS).c_str());
+  std::fprintf(file, "  \"tables\": [");
   const auto& tables = JsonTables();
   for (size_t t = 0; t < tables.size(); ++t) {
     std::fprintf(file, "%s\n    {\n      \"title\": \"%s\",\n",

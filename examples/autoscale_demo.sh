@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Live autoscale demo: run the N -> 2N -> N shard arc against the
+# ingest service stack over real loopback sockets and assert, from the
+# outside, what the binary asserts from the inside — every epoch's
+# accepted mass equals its offered mass, and every query answer stays
+# within its own (widened where applicable) error bound.
+#
+# Usage: examples/autoscale_demo.sh [path/to/autoscale_demo]
+# (defaults to build/examples/autoscale_demo relative to the repo root)
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+binary="${1:-$repo_root/build/examples/autoscale_demo}"
+if [ ! -x "$binary" ]; then
+  echo "autoscale_demo binary not found at $binary — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+out="$(mktemp "${TMPDIR:-/tmp}/mergeable_autoscale_XXXXXX")"
+trap 'rm -rf "$out"' EXIT
+
+echo "== running the 2 -> 4 -> 2 shard arc =="
+if ! "$binary" | tee "$out"; then
+  echo "FAIL: autoscale_demo exited nonzero (a mass or bound assertion" >&2
+  echo "inside the binary failed; see output above)" >&2
+  exit 1
+fi
+
+echo
+echo "== checking the transcript =="
+fail=0
+
+# Both topology announcements must have been accepted on the wire.
+if [ "$(grep -c '^topology: ' "$out")" -ne 2 ]; then
+  echo "FAIL: expected exactly 2 accepted TOP1 announcements" >&2
+  fail=1
+fi
+grep -q 'topology: epoch 2 -> 4 shards (split recipe)' "$out" || {
+  echo "FAIL: missing the doubling announcement" >&2; fail=1; }
+grep -q 'topology: epoch 4 -> 2 shards (join recipe)' "$out" || {
+  echo "FAIL: missing the halving announcement" >&2; fail=1; }
+
+# All six epochs sealed, and every per-epoch query accounted its full
+# offered mass with zero loss and an in-bound worst-case error.
+if [ "$(grep -c '^sealed epoch' "$out")" -ne 6 ]; then
+  echo "FAIL: expected 6 sealed epochs" >&2
+  fail=1
+fi
+if [ "$(grep -c '^epoch [0-9]* ok: .* lost=0 ' "$out")" -ne 6 ]; then
+  echo "FAIL: expected 6 zero-loss epoch verdicts" >&2
+  fail=1
+fi
+
+# The doubled epochs really ran 4 shards; the flanks ran 2.
+grep -q '^sealed epoch 2: 4 shards' "$out" || {
+  echo "FAIL: epoch 2 did not run doubled" >&2; fail=1; }
+grep -q '^sealed epoch 5: 2 shards' "$out" || {
+  echo "FAIL: epoch 5 did not run halved" >&2; fail=1; }
+
+# The whole-range answer and the final verdict.
+grep -q '^range \[0,5\] ok:' "$out" || {
+  echo "FAIL: missing the whole-arc range verdict" >&2; fail=1; }
+grep -q '^ARC OK:' "$out" || {
+  echo "FAIL: missing the final arc verdict" >&2; fail=1; }
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "autoscale arc verified: topology changes accepted mid-stream,"
+echo "mass accounted to the byte, answers within their served bounds."

@@ -5,6 +5,8 @@
 #include "mergeable/approx/eps_approximation.h"
 #include "mergeable/approx/eps_kernel.h"
 #include "mergeable/approx/point.h"
+#include "mergeable/elastic/elastic_count_min.h"
+#include "mergeable/elastic/elastic_count_sketch.h"
 #include "mergeable/frequency/misra_gries.h"
 #include "mergeable/frequency/space_saving.h"
 #include "mergeable/quantiles/gk.h"
@@ -199,6 +201,35 @@ std::vector<std::vector<uint8_t>> EpsApproximationCorpus(uint64_t seed) {
   return {Encode(empty), Encode(filled)};
 }
 
+std::vector<std::vector<uint8_t>> ElasticCountMinCorpus(uint64_t seed) {
+  // The empty entry sits at the *widest* width in the corpus: elastic
+  // merges fold to the narrower operand, so identity-law checks
+  // (empty ∘ x == x) only hold bytewise when the identity never forces
+  // a fold of its own. The merged entry carries two live levels — the
+  // multi-level wire shape a single stream never produces.
+  ElasticCountMin empty(/*depth=*/4, /*width=*/128, seed + 30);
+  ElasticCountMin filled(4, 64, seed + 30);
+  for (uint64_t item : CorpusStream(seed + 31)) filled.Update(item);
+  ElasticCountMin merged(4, 128, seed + 30);
+  for (uint64_t item : CorpusStream(seed + 32)) merged.Update(item);
+  merged.Merge(filled);
+  merged.Expand(128);
+  for (uint64_t item : CorpusStream(seed + 33, 500)) merged.Update(item);
+  return {Encode(empty), Encode(filled), Encode(merged)};
+}
+
+std::vector<std::vector<uint8_t>> ElasticCountSketchCorpus(uint64_t seed) {
+  ElasticCountSketch empty(/*depth=*/5, /*width=*/128, seed + 34);
+  ElasticCountSketch filled(5, 64, seed + 34);
+  for (uint64_t item : CorpusStream(seed + 35)) filled.Update(item);
+  ElasticCountSketch merged(5, 128, seed + 34);
+  for (uint64_t item : CorpusStream(seed + 36)) merged.Update(item);
+  merged.Merge(filled);
+  merged.Expand(128);
+  for (uint64_t item : CorpusStream(seed + 37, 500)) merged.Update(item);
+  return {Encode(empty), Encode(filled), Encode(merged)};
+}
+
 std::vector<std::vector<uint8_t>> EpsKernelCorpus(uint64_t seed) {
   EpsKernel empty(16);
   EpsKernel filled(16);
@@ -244,6 +275,9 @@ std::vector<SummaryCodecInfo> BuildRegistry() {
   registry.push_back(MakeEntry<DyadicCountMin>(&DyadicCountMinCorpus));
   registry.push_back(MakeEntry<EpsApproximation>(&EpsApproximationCorpus));
   registry.push_back(MakeEntry<EpsKernel>(&EpsKernelCorpus));
+  registry.push_back(MakeEntry<ElasticCountMin>(&ElasticCountMinCorpus));
+  registry.push_back(
+      MakeEntry<ElasticCountSketch>(&ElasticCountSketchCorpus));
   return registry;
 }
 

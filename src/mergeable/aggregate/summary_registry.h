@@ -44,6 +44,8 @@ class DyadicCountMin;
 class EpsApproximation;
 class EpsKernel;
 class DeamortizedSpaceSaving;
+class ElasticCountMin;
+class ElasticCountSketch;
 
 // Wire-stable identifier of a summary type. Values are persisted (store
 // node files, tagged payloads); never renumber, only append.
@@ -62,6 +64,8 @@ enum class SummaryTag : uint32_t {
   kDyadicCountMin = 12,
   kEpsApproximation = 13,
   kEpsKernel = 14,
+  kElasticCountMin = 15,
+  kElasticCountSketch = 16,
 };
 
 // Compile-time side of the mapping: the tag and display name of a
@@ -99,6 +103,9 @@ MERGEABLE_SUMMARY_TRAITS(EpsKernel, SummaryTag::kEpsKernel);
 // separate registry entry — the registry enumerates wire formats, not
 // in-memory implementations.
 MERGEABLE_SUMMARY_TRAITS(DeamortizedSpaceSaving, SummaryTag::kSpaceSaving);
+
+MERGEABLE_SUMMARY_TRAITS(ElasticCountMin, SummaryTag::kElasticCountMin);
+MERGEABLE_SUMMARY_TRAITS(ElasticCountSketch, SummaryTag::kElasticCountSketch);
 
 #undef MERGEABLE_SUMMARY_TRAITS
 

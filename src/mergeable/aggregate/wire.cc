@@ -23,6 +23,8 @@ constexpr uint32_t kBatchMagic = 0x31544142;
 constexpr uint32_t kBatchVerdictMagic = 0x31445642;
 // 'A' 'N' 'S' '1' read as a little-endian u32.
 constexpr uint32_t kAnswerMagic = 0x31534e41;
+// 'T' 'O' 'P' '1' read as a little-endian u32.
+constexpr uint32_t kTopologyMagic = 0x31504f54;
 
 // Seals a type-specific body into the uniform control-frame layout:
 // magic, length-prefixed body, checksum over (magic, body_len, body).
@@ -395,6 +397,64 @@ std::optional<WireAnswer> DecodeAnswerFrame(
   return answer;
 }
 
+// Encoded size of one topology op: kind (4) + parent (8) + child_a (8)
+// + child_b (8). Decoding bounds the claimed op count by the actual
+// body bytes through this, before any reserve.
+constexpr size_t kTopologyOpBytes = 28;
+
+std::vector<uint8_t> EncodeTopologyFrame(const WireTopology& topology) {
+  MERGEABLE_CHECK_MSG(topology.ops.size() <= kMaxTopologyOps,
+                      "EncodeTopologyFrame: too many ops for one frame");
+  ByteWriter body;
+  body.PutU64(topology.effective_epoch);
+  body.PutU64(topology.shard_count);
+  body.PutU32(static_cast<uint32_t>(topology.ops.size()));
+  for (const TopologyOp& op : topology.ops) {
+    body.PutU32(static_cast<uint32_t>(op.kind));
+    body.PutU64(op.parent);
+    body.PutU64(op.child_a);
+    body.PutU64(op.child_b);
+  }
+  return SealFrame(kTopologyMagic, std::move(body));
+}
+
+std::optional<WireTopology> DecodeTopologyFrame(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> body = OpenFrame(kTopologyMagic, frame);
+  if (!body.has_value()) return std::nullopt;
+  ByteReader reader(*body);
+  WireTopology topology;
+  uint32_t count = 0;
+  if (!reader.GetU64(&topology.effective_epoch) ||
+      !reader.GetU64(&topology.shard_count) || !reader.GetU32(&count)) {
+    return std::nullopt;
+  }
+  if (topology.shard_count == 0) return std::nullopt;
+  if (count > kMaxTopologyOps) return std::nullopt;
+  // Allocation-bomb hardening: the body must physically be able to hold
+  // `count` ops before a vector of that size is reserved.
+  if (static_cast<size_t>(count) * kTopologyOpBytes > reader.remaining()) {
+    return std::nullopt;
+  }
+  topology.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t kind = 0;
+    TopologyOp op;
+    if (!reader.GetU32(&kind) || !reader.GetU64(&op.parent) ||
+        !reader.GetU64(&op.child_a) || !reader.GetU64(&op.child_b)) {
+      return std::nullopt;
+    }
+    if (kind != static_cast<uint32_t>(TopologyOpKind::kSplit) &&
+        kind != static_cast<uint32_t>(TopologyOpKind::kJoin)) {
+      return std::nullopt;
+    }
+    op.kind = static_cast<TopologyOpKind>(kind);
+    topology.ops.push_back(op);
+  }
+  if (!reader.Exhausted()) return std::nullopt;
+  return topology;
+}
+
 FrameKind PeekFrameKind(const std::vector<uint8_t>& frame) {
   ByteReader reader(frame);
   uint32_t magic = 0;
@@ -407,6 +467,7 @@ FrameKind PeekFrameKind(const std::vector<uint8_t>& frame) {
     case kAnswerMagic: return FrameKind::kAnswer;
     case kBatchMagic: return FrameKind::kBatch;
     case kBatchVerdictMagic: return FrameKind::kBatchVerdict;
+    case kTopologyMagic: return FrameKind::kTopology;
     default: return FrameKind::kUnknown;
   }
 }
@@ -612,6 +673,35 @@ std::vector<std::vector<uint8_t>> AnswerCorpus(uint64_t seed) {
           EncodeAnswerFrame(partial)};
 }
 
+bool ProbeTopology(const std::vector<uint8_t>& frame) {
+  std::optional<WireTopology> topology = DecodeTopologyFrame(frame);
+  if (!topology.has_value()) return false;
+  MERGEABLE_CHECK_MSG(EncodeTopologyFrame(*topology) == frame,
+                      "topology frame must round-trip byte-identically");
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> TopologyCorpus(uint64_t seed) {
+  // A bare count change (no migration recipe), a doubling with its
+  // split ops, and a halving with join ops — the autoscale arc's three
+  // shapes.
+  WireTopology bare{seed % 64, 1 + seed % 7, {}};
+  WireTopology split;
+  split.effective_epoch = seed % 100;
+  split.shard_count = 8;
+  for (uint64_t i = 0; i < 4; ++i) {
+    split.ops.push_back({TopologyOpKind::kSplit, i, i, i + 4});
+  }
+  WireTopology join;
+  join.effective_epoch = seed % 100 + 1;
+  join.shard_count = 4;
+  for (uint64_t i = 0; i < 4; ++i) {
+    join.ops.push_back({TopologyOpKind::kJoin, i, i, i + 4});
+  }
+  return {EncodeTopologyFrame(bare), EncodeTopologyFrame(split),
+          EncodeTopologyFrame(join)};
+}
+
 }  // namespace
 
 const std::vector<FrameCodecInfo>& FrameRegistry() {
@@ -623,6 +713,7 @@ const std::vector<FrameCodecInfo>& FrameRegistry() {
       {"AnswerFrame", &ProbeAnswer, &AnswerCorpus},
       {"BatchFrame", &ProbeBatch, &BatchCorpus},
       {"BatchVerdictFrame", &ProbeBatchVerdict, &BatchVerdictCorpus},
+      {"TopologyFrame", &ProbeTopology, &TopologyCorpus},
   };
   return registry;
 }

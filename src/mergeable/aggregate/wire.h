@@ -239,6 +239,56 @@ struct WireAnswer {
 std::vector<uint8_t> EncodeAnswerFrame(const WireAnswer& answer);
 std::optional<WireAnswer> DecodeAnswerFrame(const std::vector<uint8_t>& frame);
 
+// ---- Topology (autoscale) frames ----
+//
+// A rebalance controller announces a shard-count change to the
+// coordinator with a topology frame:
+//
+//   'T','O','P','1'  epoch-scoped shard split/join announcement. Body:
+//                    u64 effective_epoch, u64 shard_count, u32 op
+//                    count, then per op (u32 kind, u64 parent,
+//                    u64 child_a, u64 child_b). The server answers with
+//                    a control frame: kAccepted echoes
+//                    (shard_id = shard_count, epoch = effective_epoch);
+//                    kRejected means the change was refused (epoch
+//                    already open for sealing, or a malformed count).
+//
+// The change is *epoch-scoped*: epochs before `effective_epoch` keep
+// their previous shard count, epochs at or after it expect
+// `shard_count` reports before sealing at full coverage. The op list is
+// the summary-level migration recipe (which shard's summary Split()s
+// into which children, which pairs Merge() back together); the
+// coordinator's admission decision depends only on the header, so a
+// controller may send an empty op list when shards migrate their own
+// state.
+
+// Ops per topology frame are bounded independently of kMaxFrameBytes so
+// a hostile count cannot allocate (each op is 28 bytes, enforced on
+// decode).
+inline constexpr uint32_t kMaxTopologyOps = 1u << 16;
+
+enum class TopologyOpKind : uint32_t {
+  kSplit = 1,  // `parent` repartitions into `child_a` and `child_b`.
+  kJoin = 2,   // `child_a` and `child_b` merge back into `parent`.
+};
+
+struct TopologyOp {
+  TopologyOpKind kind = TopologyOpKind::kSplit;
+  uint64_t parent = 0;
+  uint64_t child_a = 0;
+  uint64_t child_b = 0;
+};
+
+struct WireTopology {
+  uint64_t effective_epoch = 0;  // First epoch the new count applies to.
+  uint64_t shard_count = 0;      // Shards per epoch from then on (>= 1).
+  std::vector<TopologyOp> ops;   // Migration recipe; may be empty.
+};
+
+std::vector<uint8_t> EncodeTopologyFrame(const WireTopology& topology);
+std::optional<WireTopology> DecodeTopologyFrame(
+    const std::vector<uint8_t>& frame);
+
 // Frame classification by magic — how the server routes an incoming
 // frame to the right decoder (and the right admission class) without
 // parsing the body.
@@ -250,6 +300,7 @@ enum class FrameKind {
   kAnswer,
   kBatch,
   kBatchVerdict,
+  kTopology,
   kUnknown,  // Too short or unrecognized magic.
 };
 
@@ -273,8 +324,9 @@ struct FrameCodecInfo {
 };
 
 // Every frame codec, in a fixed order: report, tagged payload, control,
-// query, answer, batch, batch verdict. Tests iterate this table, so a
-// frame type added here is automatically fuzzed and corruption-tested.
+// query, answer, batch, batch verdict, topology. Tests iterate this
+// table, so a frame type added here is automatically fuzzed and
+// corruption-tested.
 const std::vector<FrameCodecInfo>& FrameRegistry();
 
 // A summary encoding annotated with its registry tag.

@@ -1,0 +1,69 @@
+#include "mergeable/elastic/rebalance.h"
+
+#include "mergeable/util/check.h"
+
+namespace mergeable {
+
+RebalanceController::RebalanceController(uint64_t base_shards)
+    : base_shards_(base_shards) {
+  MERGEABLE_CHECK_MSG(base_shards >= 1,
+                      "RebalanceController needs >= 1 base shard");
+}
+
+void RebalanceController::AddStep(uint64_t effective_epoch,
+                                  uint64_t shard_count) {
+  MERGEABLE_CHECK_MSG(shard_count >= 1, "a step needs >= 1 shard");
+  MERGEABLE_CHECK_MSG(
+      steps_.empty() || effective_epoch > steps_.back().effective_epoch,
+      "steps must have strictly increasing effective epochs");
+  steps_.push_back({effective_epoch, shard_count});
+}
+
+uint64_t RebalanceController::ShardsForEpoch(uint64_t epoch) const {
+  uint64_t shards = base_shards_;
+  for (const RebalanceStep& step : steps_) {
+    if (step.effective_epoch > epoch) break;
+    shards = step.shard_count;
+  }
+  return shards;
+}
+
+uint64_t RebalanceController::ShardsBeforeStep(size_t index) const {
+  MERGEABLE_CHECK_MSG(index < steps_.size(), "step index out of range");
+  return index == 0 ? base_shards_ : steps_[index - 1].shard_count;
+}
+
+WireTopology RebalanceController::PlanStep(size_t index) const {
+  MERGEABLE_CHECK_MSG(index < steps_.size(), "step index out of range");
+  const RebalanceStep& step = steps_[index];
+  WireTopology topology;
+  topology.effective_epoch = step.effective_epoch;
+  topology.shard_count = step.shard_count;
+  topology.ops = PlanTopologyOps(ShardsBeforeStep(index), step.shard_count);
+  return topology;
+}
+
+std::vector<uint8_t> RebalanceController::EncodeStep(size_t index) const {
+  return EncodeTopologyFrame(PlanStep(index));
+}
+
+std::vector<TopologyOp> PlanTopologyOps(uint64_t old_count,
+                                        uint64_t new_count) {
+  std::vector<TopologyOp> ops;
+  if (new_count == 2 * old_count) {
+    // Doubling: h % N == i fans out to h % 2N in {i, i + N}.
+    ops.reserve(old_count);
+    for (uint64_t i = 0; i < old_count; ++i) {
+      ops.push_back({TopologyOpKind::kSplit, i, i, i + old_count});
+    }
+  } else if (old_count == 2 * new_count) {
+    // Halving: the inverse map folds i and i + N back into i.
+    ops.reserve(new_count);
+    for (uint64_t i = 0; i < new_count; ++i) {
+      ops.push_back({TopologyOpKind::kJoin, i, i, i + new_count});
+    }
+  }
+  return ops;
+}
+
+}  // namespace mergeable

@@ -1,0 +1,89 @@
+// The rebalance controller: a transport-agnostic planner for live
+// shard-topology changes.
+//
+// An autoscale arc is a scripted sequence of (effective_epoch,
+// shard_count) steps — e.g. 4 shards, double to 8 at epoch 3, halve
+// back to 4 at epoch 6. The controller turns each step into the TOP1
+// wire announcement the coordinator consumes (wire.h), including the
+// summary-level migration recipe:
+//
+//   * doubling (N -> 2N):  shard i splits into children i and i + N,
+//     the canonical power-of-two repartition — an item routed to shard
+//     h % N lands on h % 2N in {i, i + N}, so each parent's summary
+//     Split()s exactly into its two children.
+//   * halving (2N -> N):   shards i and i + N join into shard i, the
+//     inverse map; the children's summaries Merge() back together.
+//   * anything else:       a bare count change with no recipe (shards
+//     re-ingest or migrate out of band).
+//
+// The controller also answers "how many shards does epoch e expect?",
+// mirroring the coordinator's per-epoch coverage accounting, so a
+// driver can assert both sides agree on every epoch of the arc.
+//
+// Epoch scoping is the whole trick: a step takes effect at a *future*
+// epoch boundary, so in-flight reports for earlier epochs remain valid
+// and coverage accounting never sees a torn epoch. This is the same
+// reason the paper's merge trees work at all — summaries commute with
+// partitioning, so topology can change between epochs without replay.
+
+#ifndef MERGEABLE_ELASTIC_REBALANCE_H_
+#define MERGEABLE_ELASTIC_REBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mergeable/aggregate/wire.h"
+
+namespace mergeable {
+
+// One scripted topology change: from `effective_epoch` on, the stream
+// is reported by `shard_count` shards.
+struct RebalanceStep {
+  uint64_t effective_epoch = 0;
+  uint64_t shard_count = 0;
+};
+
+class RebalanceController {
+ public:
+  // Creates a controller for a stream that starts with `base_shards`
+  // shards (epochs before the first step). Requires base_shards >= 1.
+  explicit RebalanceController(uint64_t base_shards);
+
+  // Appends a step. Steps must be added in strictly increasing
+  // effective_epoch order with shard_count >= 1.
+  void AddStep(uint64_t effective_epoch, uint64_t shard_count);
+
+  // Shards expected for `epoch`: the latest step at or before it, or
+  // the base count when no step applies. Mirrors the coordinator's
+  // per-epoch accounting exactly.
+  uint64_t ShardsForEpoch(uint64_t epoch) const;
+
+  // Shard count in force just before step `index` takes effect (the
+  // "from" side of the transition).
+  uint64_t ShardsBeforeStep(size_t index) const;
+
+  // The TOP1 announcement for step `index`, with split ops when the
+  // step doubles the count, join ops when it halves it, and an empty
+  // recipe otherwise.
+  WireTopology PlanStep(size_t index) const;
+
+  // PlanStep, sealed into wire bytes.
+  std::vector<uint8_t> EncodeStep(size_t index) const;
+
+  const std::vector<RebalanceStep>& steps() const { return steps_; }
+  uint64_t base_shards() const { return base_shards_; }
+
+ private:
+  uint64_t base_shards_;
+  std::vector<RebalanceStep> steps_;
+};
+
+// The migration recipe for an old_count -> new_count change: split ops
+// for a doubling, join ops for a halving, empty otherwise. Exposed so
+// tests can check PlanStep against the closed form.
+std::vector<TopologyOp> PlanTopologyOps(uint64_t old_count,
+                                        uint64_t new_count);
+
+}  // namespace mergeable
+
+#endif  // MERGEABLE_ELASTIC_REBALANCE_H_

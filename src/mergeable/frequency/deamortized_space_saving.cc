@@ -294,9 +294,97 @@ std::vector<Counter> DeamortizedSpaceSaving::FrequentItems(
   return result;
 }
 
+void DeamortizedSpaceSaving::Resize(int new_capacity) {
+  MERGEABLE_CHECK_MSG(new_capacity >= 2,
+                      "DeamortizedSpaceSaving capacity must be >= 2");
+  const int new_guarantee = std::max(2, (new_capacity + 1) / 2);
+  if (new_guarantee == guarantee_) return;
+  // Work from the effective state (drain-progress-independent), so a
+  // resize mid-drain gives the same result as one after FinishMaintenance.
+  std::vector<Entry> entries = EffectiveEntries();
+  const uint64_t slack = UnderSlack();
+  uint64_t v = 0;
+  if (new_guarantee < guarantee_) {
+    // Shrink: prune with the (k'+1)-th largest effective count, the
+    // same cut one side of Merge takes. At most k' counters can exceed
+    // v, so the survivors fit the new half-full table.
+    const size_t keep = static_cast<size_t>(new_guarantee);
+    if (entries.size() > keep) {
+      const auto nth = entries.begin() + static_cast<ptrdiff_t>(keep);
+      std::nth_element(entries.begin(), nth, entries.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.count > b.count;
+                       });
+      v = nth->count;
+    }
+  }
+  guarantee_ = new_guarantee;
+  table_capacity_ = 2 * new_guarantee;
+  active_.clear();
+  active_index_.Clear();
+  passive_.clear();
+  passive_index_.Clear();
+  select_heap_.clear();
+  phase_ = Phase::kIdle;
+  select_pos_ = 0;
+  drain_pos_ = 0;
+  m_ = 0;
+  select_m_cached_ = false;
+  for (const Entry& entry : entries) {
+    if (entry.count > v) {
+      const uint64_t count = entry.count - v;
+      AppendActive(entry.item, count, std::min(entry.over, count));
+    }
+  }
+  theta_ = slack + v;
+}
+
+std::vector<DeamortizedSpaceSaving> DeamortizedSpaceSaving::Split(
+    size_t parts, const std::function<size_t(uint64_t)>& partition) const {
+  MERGEABLE_CHECK_MSG(parts >= 1, "Split needs at least one part");
+  std::vector<DeamortizedSpaceSaving> result;
+  result.reserve(parts);
+  for (size_t i = 0; i < parts; ++i) {
+    result.emplace_back(table_capacity_);
+  }
+  // θ floor: an item this summary is not tracking — whichever part it
+  // belongs to — could have frequency up to UnderSlack().
+  const uint64_t floor = UnderSlack();
+  uint64_t attributed = 0;
+  for (const Entry& entry : EffectiveEntries()) {
+    const size_t part = partition(entry.item);
+    MERGEABLE_CHECK_MSG(part < parts, "partition index out of range");
+    result[part].AppendActive(entry.item, entry.count, entry.over);
+    attributed += entry.count;
+  }
+  MERGEABLE_DCHECK(attributed <= n_);
+  const uint64_t residual = n_ - attributed;
+  const uint64_t share = residual / parts;
+  const uint64_t remainder = residual % parts;
+  for (size_t i = 0; i < parts; ++i) {
+    DeamortizedSpaceSaving& part = result[i];
+    uint64_t base = 0;
+    for (const Entry& entry : part.active_) base += entry.count;
+    part.n_ = base + share + (i < remainder ? 1 : 0);
+    part.theta_ = floor;
+  }
+  return result;
+}
+
 void DeamortizedSpaceSaving::Merge(const DeamortizedSpaceSaving& other) {
-  MERGEABLE_CHECK_MSG(guarantee_ == other.guarantee_,
-                      "cannot merge summaries of different capacities");
+  if (guarantee_ != other.guarantee_) {
+    // Fold the larger-k operand down to the smaller lattice first; the
+    // fold's θ widening lands in that side's slack before the symmetric
+    // equal-guarantee merge, so merge order cannot change bytes.
+    const int target = std::min(guarantee_, other.guarantee_);
+    if (guarantee_ > target) Resize(2 * target);
+    if (other.guarantee_ > target) {
+      DeamortizedSpaceSaving folded = other;
+      folded.Resize(2 * target);
+      Merge(folded);
+      return;
+    }
+  }
   const auto to_counters = [](const std::vector<Entry>& entries) {
     std::vector<Counter> counters;
     counters.reserve(entries.size());
@@ -507,6 +595,14 @@ void ConcurrentDeamortizedSpaceSaving::UpdateBatch(const uint64_t* items,
   for (size_t i = 0; i < count; ++i) Update(items[i]);
 }
 
+void ConcurrentDeamortizedSpaceSaving::Resize(int new_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The core resize consumes any pending drain through the effective
+  // state; a background DrainLoop chunk that wakes afterwards sees no
+  // pending maintenance and exits.
+  core_.Resize(new_capacity);
+}
+
 uint64_t ConcurrentDeamortizedSpaceSaving::Count(uint64_t item) const {
   std::lock_guard<std::mutex> lock(mu_);
   return core_.Count(item);
@@ -530,6 +626,11 @@ uint64_t ConcurrentDeamortizedSpaceSaving::UnderSlack() const {
 uint64_t ConcurrentDeamortizedSpaceSaving::n() const {
   std::lock_guard<std::mutex> lock(mu_);
   return core_.n();
+}
+
+int ConcurrentDeamortizedSpaceSaving::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.capacity();
 }
 
 std::vector<Counter> ConcurrentDeamortizedSpaceSaving::Counters() const {

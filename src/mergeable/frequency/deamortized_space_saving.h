@@ -69,6 +69,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -141,8 +142,32 @@ class DeamortizedSpaceSaving {
 
   // Merges `other` into this summary: combines effective counters,
   // prunes with the (k+1)-th largest combined value v (each side of the
-  // paper's Frequent merge), theta += v. Requires identical guarantees.
+  // paper's Frequent merge), theta += v. Guarantees may differ: the
+  // larger-k side folds down to the smaller via Resize() first, so the
+  // result always carries guarantee min(k1, k2).
   void Merge(const DeamortizedSpaceSaving& other);
+
+  // Changes the counter budget in place; `new_capacity` is interpreted
+  // like the constructor's (guarantee k' = max(2, ceil(capacity/2)),
+  // table capacity 2k'). Growing keeps every effective counter and
+  // leaves theta unchanged (counts are lower bounds — no isomorphism
+  // needed, unlike SpaceSaving::Resize). Shrinking prunes with the
+  // (k'+1)-th largest effective count v and folds v into theta — the
+  // θ-floor widening, mirroring one side of Merge. The post-resize
+  // bracket is always Count(x) <= f(x) <= Count(x) + UnderSlack();
+  // after shrinks UnderSlack() may exceed the new nominal n/(k'+1) —
+  // the telescoped widened budget is the honest bound.
+  void Resize(int new_capacity);
+
+  // Repartitions into `parts` disjoint summaries with this geometry:
+  // effective entry (item, count, over) routes to partition(item)
+  // (must be < parts). Each part's theta starts at the parent's
+  // UnderSlack() — the floor an untracked item could hide under — and
+  // the unattributed residual n() - Σ counts splits deterministically
+  // (floor share, remainder to lowest-index parts) so part n()'s sum
+  // to the parent's exactly.
+  std::vector<DeamortizedSpaceSaving> Split(
+      size_t parts, const std::function<size_t(uint64_t)>& partition) const;
 
   // Serializes the effective state as an SS01 payload (sorted
   // canonically — byte-identical across drain interleavings).
@@ -266,11 +291,18 @@ class ConcurrentDeamortizedSpaceSaving {
   void Update(uint64_t item, uint64_t weight = 1);
   void UpdateBatch(const uint64_t* items, size_t count);
 
+  // Resizes the core under the mutex (see DeamortizedSpaceSaving::
+  // Resize); safe to race with updates, queries, and the background
+  // drain — the core finishes its pending drain inside the resize, and
+  // the next update re-kicks maintenance as usual.
+  void Resize(int new_capacity);
+
   uint64_t Count(uint64_t item) const;
   uint64_t UpperEstimate(uint64_t item) const;
   uint64_t LowerEstimate(uint64_t item) const;
   uint64_t UnderSlack() const;
   uint64_t n() const;
+  int capacity() const;
   std::vector<Counter> Counters() const;
   std::vector<Counter> FrequentItems(uint64_t threshold) const;
   void EncodeTo(ByteWriter& writer) const;

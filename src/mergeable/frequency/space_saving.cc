@@ -175,9 +175,111 @@ MisraGries SpaceSaving::ToMisraGries() const {
   return MisraGries::FromCounters(capacity_ - 1, counters, n_);
 }
 
+void SpaceSaving::Resize(int new_capacity) {
+  MERGEABLE_CHECK_MSG(new_capacity >= 2, "SpaceSaving capacity must be >= 2");
+  if (new_capacity == capacity_) return;
+  if (new_capacity > capacity_) {
+    // Growing. If the table is full, apply the R2 isomorphism first:
+    // the unmonitored-item bound is MinCount() + slack, and a grown
+    // table is no longer full (MinCount() drops to 0), so the minimum
+    // must move into the slack for the bound to survive.
+    if (entries_.size() == static_cast<size_t>(capacity_)) {
+      const uint64_t min = MinCount();
+      if (min > 0) {
+        std::vector<Entry> kept;
+        kept.reserve(entries_.size());
+        for (const Entry& entry : entries_) {
+          if (entry.count > min) {
+            const uint64_t count = entry.count - min;
+            kept.push_back(Entry{entry.item, count,
+                                 std::min(entry.over, count)});
+          }
+        }
+        entries_.clear();
+        index_.Clear();
+        InvalidateMinHeap();
+        for (const Entry& entry : kept) {
+          AppendEntry(entry.item, entry.count, entry.over);
+        }
+        under_slack_ += min;
+      }
+    }
+    capacity_ = new_capacity;
+    return;
+  }
+  // Shrinking: prune in the MG domain with the new capacity's order
+  // statistic, exactly as Merge does for one operand.
+  uint64_t min = 0;
+  std::vector<Counter> counters = MgDomainCounters(&min);
+  uint64_t v = 0;
+  const size_t keep = static_cast<size_t>(new_capacity) - 1;
+  if (counters.size() > keep) {
+    const auto nth = counters.begin() + static_cast<ptrdiff_t>(keep);
+    std::nth_element(counters.begin(), nth, counters.end(),
+                     [](const Counter& a, const Counter& b) {
+                       return a.count > b.count;
+                     });
+    v = nth->count;
+  }
+  capacity_ = new_capacity;
+  entries_.clear();
+  index_.Clear();
+  InvalidateMinHeap();
+  for (const Counter& counter : counters) {
+    if (counter.count > v) {
+      AppendEntry(counter.item, counter.count - v, 0);
+    }
+  }
+  under_slack_ += min + v;
+}
+
+std::vector<SpaceSaving> SpaceSaving::Split(
+    size_t parts, const std::function<size_t(uint64_t)>& partition) const {
+  MERGEABLE_CHECK_MSG(parts >= 1, "Split needs at least one part");
+  std::vector<SpaceSaving> result;
+  result.reserve(parts);
+  for (size_t i = 0; i < parts; ++i) result.emplace_back(capacity_);
+  // The θ floor: an item this summary is not monitoring — whichever
+  // part it belongs to — could have frequency up to MinCount() + slack.
+  const uint64_t floor = MinCount();
+  uint64_t attributed = 0;
+  for (const Entry& entry : entries_) {
+    const size_t part = partition(entry.item);
+    MERGEABLE_CHECK_MSG(part < parts, "partition index out of range");
+    result[part].AppendEntry(entry.item, entry.count, entry.over);
+    attributed += entry.count;
+  }
+  MERGEABLE_DCHECK(attributed <= n_);
+  // The residual n - Σ counts belongs to items the summary dropped; it
+  // cannot be attributed to a part, so split it deterministically with
+  // the remainder going to the lowest-index parts: Σ part n == n.
+  const uint64_t residual = n_ - attributed;
+  const uint64_t share = residual / parts;
+  const uint64_t remainder = residual % parts;
+  for (size_t i = 0; i < parts; ++i) {
+    SpaceSaving& part = result[i];
+    uint64_t base = 0;
+    for (const Entry& entry : part.entries_) base += entry.count;
+    part.n_ = base + share + (i < remainder ? 1 : 0);
+    part.under_slack_ = under_slack_ + floor;
+  }
+  return result;
+}
+
 void SpaceSaving::Merge(const SpaceSaving& other) {
-  MERGEABLE_CHECK_MSG(capacity_ == other.capacity_,
-                      "cannot merge summaries of different capacities");
+  if (capacity_ != other.capacity_) {
+    // Fold the wider operand down to the narrower lattice; the fold's θ
+    // accounting lands in that side's UnderSlack before the symmetric
+    // equal-capacity merge below, so merge order cannot change bytes.
+    const int target = std::min(capacity_, other.capacity_);
+    if (capacity_ > target) Resize(target);
+    if (other.capacity_ > target) {
+      SpaceSaving folded = other;
+      folded.Resize(target);
+      Merge(folded);
+      return;
+    }
+  }
   uint64_t min1 = 0;
   uint64_t min2 = 0;
   std::vector<Counter> combined =
@@ -212,8 +314,16 @@ void SpaceSaving::Merge(const SpaceSaving& other) {
 }
 
 void SpaceSaving::MergeCafaro(const SpaceSaving& other) {
-  MERGEABLE_CHECK_MSG(capacity_ == other.capacity_,
-                      "cannot merge summaries of different capacities");
+  if (capacity_ != other.capacity_) {
+    const int target = std::min(capacity_, other.capacity_);
+    if (capacity_ > target) Resize(target);
+    if (other.capacity_ > target) {
+      SpaceSaving folded = other;
+      folded.Resize(target);
+      MergeCafaro(folded);
+      return;
+    }
+  }
   uint64_t min1 = 0;
   uint64_t min2 = 0;
   std::vector<Counter> combined =
@@ -307,7 +417,16 @@ void SpaceSaving::EncodeTo(ByteWriter& writer) const {
   writer.PutU64(n_);
   writer.PutU64(under_slack_);
   writer.PutU32(static_cast<uint32_t>(entries_.size()));
-  for (const Entry& entry : entries_) {
+  // Canonical order — (count descending, ties by item ascending), the
+  // same total order DeamortizedSpaceSaving uses for this shared
+  // format — so equal states encode equal bytes no matter what slot
+  // order updates and evictions left behind.
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  for (const Entry& entry : sorted) {
     writer.PutU64(entry.item);
     writer.PutU64(entry.count);
     writer.PutU64(entry.over);

@@ -49,6 +49,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -121,14 +122,49 @@ class SpaceSaving {
   // MinCount() from every counter when the summary is full).
   MisraGries ToMisraGries() const;
 
-  // Merges `other` into this summary (Agarwal et al.). Requires identical
-  // capacities.
+  // Merges `other` into this summary (Agarwal et al.). Capacities may
+  // differ: the larger-capacity side is folded down to the smaller via
+  // Resize() first (widening its error budget accordingly), so the
+  // result always has capacity min(k1, k2). Byte-deterministic either
+  // way around.
   void Merge(const SpaceSaving& other);
 
   // Merges `other` with the Cafaro et al. low-total-error algorithm.
+  // Accepts mismatched capacities under the same fold-to-min rule.
   void MergeCafaro(const SpaceSaving& other);
 
-  // Serializes the summary (little-endian, versioned).
+  // Changes the counter budget in place.
+  //
+  //   * Growing applies the R2 isomorphism first when the table is
+  //     full: the minimum moves into UnderSlack() (a full table's
+  //     unmonitored bound is MinCount() + slack; a grown, non-full
+  //     table has MinCount() == 0, so the θ floor must survive in the
+  //     slack). Error budget widens by exactly that minimum.
+  //   * Shrinking prunes in the MG domain with the new capacity's
+  //     order statistic, exactly as Merge does: slack widens by
+  //     subtracted-min + the k'-th largest combined count
+  //     (<= n/k_old + n/k' for the worst case).
+  //
+  // Requires new_capacity >= 2. Both brackets
+  // (LowerEstimate/UpperEstimate) remain valid across the resize.
+  void Resize(int new_capacity);
+
+  // Repartitions the summary into `parts` disjoint sub-summaries (each
+  // with this capacity): entry (item, count, over) routes to
+  // partition(item), which must return a value < parts. Every part's
+  // UnderSlack() is the parent's plus the parent's MinCount() — the θ
+  // floor an unmonitored item could hide under — so per-part brackets
+  // stay valid for the parent stream. The unattributed residual mass
+  // n() - Σ counts is split deterministically (floor share, remainder
+  // to the lowest-index parts) so the parts' n() sum to the parent's
+  // exactly.
+  std::vector<SpaceSaving> Split(
+      size_t parts, const std::function<size_t(uint64_t)>& partition) const;
+
+  // Serializes the summary (little-endian, versioned). Canonical:
+  // entries are written sorted by (count descending, item ascending),
+  // so equal summary *states* encode to equal bytes regardless of the
+  // update/merge order that produced them.
   void EncodeTo(ByteWriter& writer) const;
 
   // Reconstructs a summary from EncodeTo bytes; std::nullopt on

@@ -18,12 +18,17 @@ AdmitResult AdmissionQueue::Offer(WorkItem item) {
 
   const bool is_query = item.kind == WorkKind::kQuery;
   const bool is_batch = item.kind == WorkKind::kBatch;
+  const bool is_topology = item.kind == WorkKind::kTopology;
+  // Queries and topology announcements share the high-priority class:
+  // both weigh one unit and are refused only at the hard limits.
+  const bool is_priority = is_query || is_topology;
   const size_t item_bytes = item.frame.size();
   // An item's admission weight: a batch frame costs its report count,
   // so depth limits see through batching (a query weighs one unit; an
   // empty batch still occupies one slot so it cannot flood for free).
   const size_t weight =
-      is_query ? 1 : static_cast<size_t>(item.reports > 0 ? item.reports : 1);
+      is_priority ? 1
+                  : static_cast<size_t>(item.reports > 0 ? item.reports : 1);
 
   // Hard limits first: nothing is admitted above the cap or the byte
   // budget, queries included. A batch that does not fit whole is shed
@@ -32,6 +37,8 @@ AdmitResult AdmissionQueue::Offer(WorkItem item) {
       queued_bytes_ + item_bytes > config_.byte_budget) {
     if (is_query) {
       ++stats_.shed_queries;
+    } else if (is_topology) {
+      ++stats_.shed_topologies;
     } else {
       stats_.shed_reports += weight;
       if (is_batch) ++stats_.shed_batches;
@@ -44,8 +51,8 @@ AdmitResult AdmissionQueue::Offer(WorkItem item) {
   if (queued_reports_ >= config_.high_watermark) backpressure_ = true;
 
   // Priority shedding: under backpressure, reports are refused while
-  // queries keep flowing up to the hard cap.
-  if (backpressure_ && !is_query) {
+  // queries and topology changes keep flowing up to the hard cap.
+  if (backpressure_ && !is_priority) {
     stats_.shed_reports += weight;
     stats_.backpressure_nacks += weight;
     if (is_batch) ++stats_.shed_batches;
@@ -57,6 +64,8 @@ AdmitResult AdmissionQueue::Offer(WorkItem item) {
   queue_.push_back(std::move(item));
   if (is_query) {
     ++stats_.admitted_queries;
+  } else if (is_topology) {
+    ++stats_.admitted_topologies;
   } else {
     stats_.admitted_reports += weight;
     if (is_batch) ++stats_.admitted_batches;
@@ -79,7 +88,7 @@ std::optional<WorkItem> AdmissionQueue::Take() {
   queue_.pop_front();
   queued_bytes_ -= item.frame.size();
   const size_t weight =
-      item.kind == WorkKind::kQuery
+      (item.kind == WorkKind::kQuery || item.kind == WorkKind::kTopology)
           ? 1
           : static_cast<size_t>(item.reports > 0 ? item.reports : 1);
   queued_reports_ -= weight;

@@ -12,10 +12,14 @@
 //     between accept and reject on every pop.
 //   * A hard cap and a byte budget bound worst-case memory regardless
 //     of watermark state; work above either is shed outright.
-//   * Priority: queries outrank reports. A report is shed as soon as
-//     backpressure engages (the client retries it, or the loss is
-//     accounted as degraded coverage); a query is only refused at the
-//     hard cap, because refusing it loses an answer, not just mass.
+//   * Priority: queries and topology announcements outrank reports. A
+//     report is shed as soon as backpressure engages (the client
+//     retries it, or the loss is accounted as degraded coverage); a
+//     query is only refused at the hard cap, because refusing it loses
+//     an answer, not just mass. A topology frame gets the same
+//     treatment — it is the control plane reshaping the very fleet
+//     that is overloading, so shedding it under backpressure would
+//     wedge the one action that relieves the pressure.
 //
 // Every shed is counted. The server's epsilon accounting leans on these
 // counters: a shed report is lost mass, and the degraded-coverage
@@ -42,7 +46,8 @@ namespace mergeable {
 enum class WorkKind : uint8_t {
   kReport = 0,
   kQuery = 1,
-  kBatch = 2,  // A BAT1 frame carrying `reports` report records.
+  kBatch = 2,     // A BAT1 frame carrying `reports` report records.
+  kTopology = 3,  // A TOP1 shard-topology announcement.
 };
 
 // One admitted unit of work: a decoded-enough frame plus routing info.
@@ -80,9 +85,11 @@ struct AdmissionStats {
   uint64_t admitted_reports = 0;  // Reports (batch members count apiece).
   uint64_t admitted_queries = 0;
   uint64_t admitted_batches = 0;  // Batch frames among the admissions.
+  uint64_t admitted_topologies = 0;
   uint64_t shed_reports = 0;      // Reports, exact at batch granularity.
   uint64_t shed_batches = 0;      // Batch frames among the sheds.
   uint64_t shed_queries = 0;
+  uint64_t shed_topologies = 0;   // Hard cap only; never backpressure.
   uint64_t backpressure_nacks = 0;  // Subset of shed_reports.
   size_t peak_depth = 0;          // Reports, not frames.
   size_t peak_bytes = 0;

@@ -72,8 +72,11 @@ namespace mergeable {
 
 struct EpochServiceConfig {
   uint64_t stream = 1;
-  // Shards expected per epoch; reports from shard ids >= this are
-  // rejected, and coverage accounting uses it as the denominator.
+  // Shards expected per epoch before any topology change; reports from
+  // shard ids >= the epoch's count are rejected, and coverage
+  // accounting uses it as the denominator. TOP1 announcements
+  // (HandleTopology) override it per epoch from their effective epoch
+  // on.
   uint64_t shards_per_epoch = 4;
   // Dedup window capacity (keys = in-flight (shard, epoch) pairs).
   size_t dedup_capacity = 1024;
@@ -111,6 +114,11 @@ struct EpochServiceStats {
   uint64_t storage_recoveries = 0;     // Degraded -> healthy transitions.
   uint64_t epochs_sealed_empty = 0;    // Zero-report placeholder seals.
   uint64_t seals_degraded_to_empty = 0;  // Buffer-overflow payload drops.
+  uint64_t topology_accepted = 0;   // TOP1 announcements applied.
+  uint64_t topology_rejected = 0;   // Malformed or already-sealed epoch.
+  // Already-admitted reports dropped because a topology change put
+  // their shard id out of range for their epoch.
+  uint64_t reports_dropped_topology = 0;
 };
 
 template <WireSummary S, typename StoreT = SummaryStore<S>>
@@ -157,8 +165,8 @@ class EpochService : public FrameHandler {
     control.epoch = report->epoch;
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (report->shard_id >= config_.shards_per_epoch ||
-        report->epoch < next_epoch_) {
+    if (report->epoch < next_epoch_ ||
+        report->shard_id >= ShardsForEpochLocked(report->epoch)) {
       // Misrouted shard, or a straggler for an epoch already sealed —
       // resending cannot help either one.
       control.code = ControlCode::kRejected;
@@ -236,8 +244,8 @@ class EpochService : public FrameHandler {
     for (size_t i = 0; i < records.size(); ++i) {
       const BatchRecordView& record = records[i];
       ControlCode code;
-      if (record.shard_id >= config_.shards_per_epoch ||
-          record.epoch < next_epoch_) {
+      if (record.epoch < next_epoch_ ||
+          record.shard_id >= ShardsForEpochLocked(record.epoch)) {
         code = ControlCode::kRejected;
         ++stats_.reports_rejected;
       } else if (storage_degraded_) {
@@ -335,6 +343,56 @@ class EpochService : public FrameHandler {
     return EncodeAnswerFrame(answer);
   }
 
+  // A TOP1 shard-topology announcement: from `effective_epoch` on, the
+  // stream reports with `shard_count` shards (the per-epoch coverage
+  // denominator changes with it). Accepted for any epoch not yet sealed
+  // — including the one currently collecting reports, which is the
+  // mid-epoch case: already-admitted reports whose shard id falls out
+  // of range under the new count are dropped (counted in
+  // reports_dropped_topology), everything else stands. Rejected when
+  // the effective epoch is already sealed: its coverage is settled and
+  // cannot be re-denominated.
+  std::vector<uint8_t> HandleTopology(
+      const std::vector<uint8_t>& frame) override {
+    std::optional<WireTopology> topology = DecodeTopologyFrame(frame);
+    WireControl control;
+    if (!topology.has_value()) {
+      control.code = ControlCode::kRejected;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.topology_rejected;
+      return EncodeControlFrame(control);
+    }
+    // The ACK echoes the announcement's identity: the new count rides
+    // in shard_id, the effective epoch in epoch.
+    control.shard_id = topology->shard_count;
+    control.epoch = topology->effective_epoch;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (topology->effective_epoch < next_epoch_) {
+      control.code = ControlCode::kRejected;
+      ++stats_.topology_rejected;
+      return EncodeControlFrame(control);
+    }
+    topology_.insert_or_assign(topology->effective_epoch,
+                               topology->shard_count);
+    // Drop admitted reports the new topology orphans. Later epochs may
+    // sit under a *different* (later) announcement, so the bound is
+    // recomputed per epoch, not taken from this frame.
+    for (auto epoch_it = pending_.lower_bound(topology->effective_epoch);
+         epoch_it != pending_.end(); ++epoch_it) {
+      const uint64_t shards = ShardsForEpochLocked(epoch_it->first);
+      auto& shard_map = epoch_it->second;
+      auto shard_it = shard_map.lower_bound(shards);
+      while (shard_it != shard_map.end()) {
+        shard_it = shard_map.erase(shard_it);
+        ++stats_.reports_dropped_topology;
+      }
+    }
+    control.code = ControlCode::kAccepted;
+    ++stats_.topology_accepted;
+    return EncodeControlFrame(control);
+  }
+
   // Seals `epoch` into the store from whatever reports arrived:
   // ascending shard order, left-deep canonical merge — byte-identical
   // to Coordinator::RunDurable over the same payloads. `offered_n` is
@@ -354,7 +412,7 @@ class EpochService : public FrameHandler {
                         "epochs must be sealed in order");
     auto it = pending_.find(epoch);
     AggregationResult<S> result;
-    result.shards_total = config_.shards_per_epoch;
+    result.shards_total = ShardsForEpochLocked(epoch);
     if (it != pending_.end()) {
       for (auto& [shard, summary] : it->second) {
         ++result.shards_received;
@@ -369,6 +427,7 @@ class EpochService : public FrameHandler {
     // (HandleReport rejects them), so their pending state is dead.
     pending_.erase(pending_.begin(), pending_.upper_bound(epoch));
     next_epoch_ = epoch + 1;
+    GcTopologyLocked();
     if (!result.summary.has_value()) {
       // Zero reports. Skipping keeps pre-durability behavior, but once
       // the store holds epochs (or earlier seals are queued) a gap
@@ -417,6 +476,12 @@ class EpochService : public FrameHandler {
   bool storage_degraded() const {
     std::lock_guard<std::mutex> lock(mu_);
     return storage_degraded_;
+  }
+  // Shards `epoch` expects (the coverage denominator it will seal
+  // with) — for drivers asserting both sides of an autoscale arc agree.
+  uint64_t shards_for_epoch(uint64_t epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ShardsForEpochLocked(epoch);
   }
   size_t buffered_seals() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -471,6 +536,23 @@ class EpochService : public FrameHandler {
     return true;
   }
 
+  // Shard count in force for `epoch`: the latest topology change at or
+  // before it, or the configured base when none applies.
+  uint64_t ShardsForEpochLocked(uint64_t epoch) const {
+    auto it = topology_.upper_bound(epoch);
+    if (it == topology_.begin()) return config_.shards_per_epoch;
+    return std::prev(it)->second;
+  }
+
+  // Topology entries for sealed epochs are dead *except* the latest one
+  // at or before the seal point — it is the in-force baseline every
+  // future epoch inherits until the next change.
+  void GcTopologyLocked() {
+    auto it = topology_.upper_bound(next_epoch_);
+    if (it == topology_.begin()) return;
+    topology_.erase(topology_.begin(), std::prev(it));
+  }
+
   static void FillEpsilon(WireAnswer* answer, const EpsilonReport& eps) {
     answer->epsilon = eps.epsilon;
     answer->epochs = eps.epochs;
@@ -502,6 +584,9 @@ class EpochService : public FrameHandler {
   // epoch -> shard -> decoded summary (std::map: ascending shard order
   // is the canonical merge order).
   std::map<uint64_t, std::map<uint64_t, S>> pending_;
+  // effective_epoch -> shard count, from accepted TOP1 announcements.
+  // Ordered: ShardsForEpochLocked takes the latest entry <= the epoch.
+  std::map<uint64_t, uint64_t> topology_;
   uint64_t next_epoch_ = 0;
   EpochServiceStats stats_;
   std::function<S()> empty_summary_;

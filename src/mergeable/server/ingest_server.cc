@@ -28,6 +28,19 @@ bool PeekReportHeader(const std::vector<uint8_t>& frame, uint64_t* shard_id,
 
 }  // namespace
 
+std::vector<uint8_t> FrameHandler::HandleTopology(
+    const std::vector<uint8_t>& frame) {
+  // Default: this handler does not manage per-epoch shard counts, so
+  // the only honest verdict is a hard reject (retrying cannot help).
+  WireControl reject;
+  reject.code = ControlCode::kRejected;
+  if (std::optional<WireTopology> topology = DecodeTopologyFrame(frame)) {
+    reject.shard_id = topology->shard_count;
+    reject.epoch = topology->effective_epoch;
+  }
+  return EncodeControlFrame(reject);
+}
+
 IngestServer::IngestServer(FrameHandler* handler, ServerConfig config)
     : handler_(handler), config_(config), queue_(config.admission) {}
 
@@ -89,6 +102,9 @@ void IngestServer::WorkerThread() {
         break;
       case WorkKind::kReport:
         response = handler_->HandleReport(item->frame);
+        break;
+      case WorkKind::kTopology:
+        response = handler_->HandleTopology(item->frame);
         break;
     }
     QueueResponse(item->conn_id, response);
@@ -224,6 +240,9 @@ void IngestServer::RouteFrame(uint64_t conn_id, Conn& conn,
     }
     case FrameKind::kQuery:
       item.kind = WorkKind::kQuery;
+      break;
+    case FrameKind::kTopology:
+      item.kind = WorkKind::kTopology;
       break;
     default: {
       {

@@ -59,6 +59,11 @@ class FrameHandler {
       const std::vector<uint8_t>& frame) = 0;
   virtual std::vector<uint8_t> HandleQuery(
       const std::vector<uint8_t>& frame) = 0;
+  // A TOP1 shard-topology announcement (wire.h). Defaults to a hard
+  // reject so handlers that do not manage per-epoch shard counts need
+  // no opt-out; EpochService overrides it.
+  virtual std::vector<uint8_t> HandleTopology(
+      const std::vector<uint8_t>& frame);
 };
 
 struct ServerConfig {

@@ -57,7 +57,13 @@ void KmvSketch::EncodeTo(ByteWriter& writer) const {
   writer.PutU32(static_cast<uint32_t>(k_));
   writer.PutU64(seed_);
   writer.PutU32(static_cast<uint32_t>(heap_.size()));
-  for (uint64_t hash : heap_) writer.PutU64(hash);
+  // Canonical order: the retained set is what the sketch *is* — writing
+  // it sorted (rather than in heap layout, which depends on insertion
+  // order) makes equal sets encode to equal bytes. DecodeFrom rebuilds
+  // the heap, so the layout never mattered to round-trips.
+  std::vector<uint64_t> sorted(heap_.begin(), heap_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t hash : sorted) writer.PutU64(hash);
 }
 
 std::optional<KmvSketch> KmvSketch::DecodeFrom(ByteReader& reader) {

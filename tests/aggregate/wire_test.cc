@@ -265,7 +265,7 @@ TEST(WireTest, PeekFrameKindRoutesEveryMagic) {
 
 TEST(WireTest, FrameRegistryCoversEveryFrameType) {
   const auto& registry = FrameRegistry();
-  ASSERT_EQ(registry.size(), 7u);
+  ASSERT_EQ(registry.size(), 8u);
   for (const auto& info : registry) {
     SCOPED_TRACE(info.name);
     const auto corpus = info.corpus(/*seed=*/7);

@@ -7,7 +7,8 @@
 // coordinator use — so a codec added to the registry is automatically
 // screened. The classification (commutative / associative / identity)
 // is part of each codec's contract: linear sketches (Count-Min, Count
-// Sketch, AMS, Bloom, KMV, dyadic Count-Min) are exact under any
+// Sketch, AMS, Bloom, KMV, dyadic Count-Min, and the elastic variants,
+// whose width folds are exact linear maps) are exact under any
 // regrouping; counter summaries (Misra-Gries, SpaceSaving) commute
 // byte-for-byte thanks to their canonical sorted encodings but
 // associate only at the error level (each merge step prunes, so
@@ -15,6 +16,10 @@
 // both staying inside epsilon * n); sampling and randomized-compaction
 // types (reservoir, mergeable quantiles) promise only distributional
 // laws and are exercised by their own suites.
+//
+// The elastic corpora deliberately mix widths (the empty entry is
+// wider than the filled one), so every pairing below also exercises the
+// fold-to-min mismatched merge at the byte level.
 
 #include <cstdint>
 #include <map>
@@ -24,6 +29,8 @@
 #include <gtest/gtest.h>
 
 #include "mergeable/aggregate/summary_registry.h"
+#include "mergeable/elastic/elastic_count_min.h"
+#include "mergeable/elastic/elastic_count_sketch.h"
 #include "mergeable/frequency/deamortized_space_saving.h"
 #include "mergeable/frequency/exact_counter.h"
 #include "mergeable/frequency/misra_gries.h"
@@ -38,24 +45,23 @@ namespace {
 // merge_payloads(b, a) for any two compatible payloads.
 bool IsByteCommutative(SummaryTag tag) {
   switch (tag) {
-    // SpaceSaving is absent: its merged counter VALUES commute, but the
-    // per-counter `over` bookkeeping is asymmetric once populated, so
-    // the bytes differ with the operand order. (DeamortizedSpaceSaving,
-    // which shares the tag's wire format but rebuilds with over = 0 on
-    // merge, IS byte-commutative — asserted in its own suite.) The
-    // estimate-level commutativity SpaceSaving does guarantee is
-    // covered by CounterGroupingTest below.
+    // SpaceSaving qualifies because its merge rebuilds every survivor
+    // from the symmetric MG-domain combine (over = 0, slack and n
+    // symmetric) and its encoding is canonical — entries are written
+    // sorted by (count desc, item asc), so equal states are equal
+    // bytes. KMV likewise: set-union semantics plus a sorted canonical
+    // encoding of the retained set.
     case SummaryTag::kMisraGries:
+    case SummaryTag::kSpaceSaving:
     case SummaryTag::kCountMin:
     case SummaryTag::kCountSketch:
     case SummaryTag::kAms:
     case SummaryTag::kBloom:
+    case SummaryTag::kKmv:
     case SummaryTag::kDyadicCountMin:
+    case SummaryTag::kElasticCountMin:
+    case SummaryTag::kElasticCountSketch:
       return true;
-    // KMV is set-union semantically, but its codec serializes the heap
-    // array in insertion-dependent order — not canonical, so its merge
-    // commutes as a set, not as bytes. Its own suite covers the
-    // estimate-level laws.
     default:
       return false;
   }
@@ -69,7 +75,14 @@ bool IsByteAssociative(SummaryTag tag) {
     case SummaryTag::kCountSketch:
     case SummaryTag::kAms:
     case SummaryTag::kBloom:
+    case SummaryTag::kKmv:
     case SummaryTag::kDyadicCountMin:
+    // The elastic sketches stay associative across mixed widths: a
+    // level of width l always lands at min(l, final target) no matter
+    // how the merges group, and folds compose exactly
+    // (fold(fold(x, w), w') == fold(x, w') for w' | w).
+    case SummaryTag::kElasticCountMin:
+    case SummaryTag::kElasticCountSketch:
       return true;
     default:
       return false;
@@ -85,7 +98,16 @@ bool HasByteIdentity(SummaryTag tag) {
     case SummaryTag::kCountSketch:
     case SummaryTag::kAms:
     case SummaryTag::kBloom:
+    case SummaryTag::kKmv:
     case SummaryTag::kDyadicCountMin:
+    // The elastic corpora put their empty instance at the WIDEST width
+    // in the corpus, so merging it in folds only itself (exactly, to
+    // zero counters) and never the other operand — the identity law
+    // holds bytewise across the mixed-width entries. (SpaceSaving has
+    // no byte identity: merging re-expresses a streamed summary in the
+    // MG domain, changing bytes without changing estimates.)
+    case SummaryTag::kElasticCountMin:
+    case SummaryTag::kElasticCountSketch:
       return true;
     default:
       return false;
@@ -257,6 +279,148 @@ TYPED_TEST(CounterGroupingTest, EveryGroupingKeepsTheEpsilonBracket) {
     EXPECT_EQ(left_assoc.n(), right_assoc.n());
     EXPECT_EQ(left_assoc.n(), commuted.n());
     EXPECT_EQ(left_assoc.n(), exact.n());
+  }
+}
+
+// ---- Mismatched-size merge laws ----
+//
+// Elasticity makes operands of different sizes mergeable: sketches fold
+// the wider operand to the narrower power-of-two lattice (an exact
+// linear map), counters fold the larger capacity down via Resize. The
+// laws here pin the contract: byte-commutativity and associativity
+// across width pairs {2^a, 2^b}, and an analytic widened-epsilon budget
+// for the counter folds.
+
+template <typename E>
+void CheckElasticMergeLaws(int depth, uint64_t seed) {
+  const uint32_t widths[] = {32, 64, 256, 1024};
+  for (uint32_t wa : widths) {
+    for (uint32_t wb : widths) {
+      E a(depth, wa, seed);
+      E b(depth, wb, seed);
+      Rng rng(seed ^ (wa * 131) ^ wb);
+      for (int i = 0; i < 3000; ++i) a.Update(rng.UniformInt(uint64_t{400}));
+      for (int i = 0; i < 2000; ++i) b.Update(rng.UniformInt(uint64_t{300}));
+
+      E ab = a;
+      ab.Merge(b);
+      E ba = b;
+      ba.Merge(a);
+      EXPECT_EQ(ab.width(), std::min(wa, wb));
+      EXPECT_EQ(Encode(ab), Encode(ba)) << wa << "x" << wb;
+
+      // Associativity with a third width: ((a+b)+c) == (a+(b+c)).
+      E c(depth, 128, seed);
+      for (int i = 0; i < 1000; ++i) c.Update(rng.UniformInt(uint64_t{200}));
+      E abc = ab;
+      abc.Merge(c);
+      E bc = b;
+      bc.Merge(c);
+      E a_bc = a;
+      a_bc.Merge(bc);
+      EXPECT_EQ(Encode(abc), Encode(a_bc)) << wa << "x" << wb << "x128";
+
+      // The merged bound must equal the bound of the pre-folded
+      // equivalent: folding is exact, so merging into the narrower
+      // width costs exactly the narrow width's epsilon on the combined
+      // mass — the "widened epsilon" is a statement about masses and
+      // widths, not about which operand folded.
+      E narrow(depth, std::min(wa, wb), seed);
+      Rng replay(seed ^ (wa * 131) ^ wb);
+      for (int i = 0; i < 3000; ++i) {
+        narrow.Update(replay.UniformInt(uint64_t{400}));
+      }
+      for (int i = 0; i < 2000; ++i) {
+        narrow.Update(replay.UniformInt(uint64_t{300}));
+      }
+      EXPECT_EQ(Encode(ab), Encode(narrow)) << wa << "x" << wb;
+      EXPECT_DOUBLE_EQ(ab.ErrorBound(), narrow.ErrorBound());
+    }
+  }
+}
+
+TEST(CoreMergePropertyTest, ElasticCountMinMismatchedWidthLaws) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    CheckElasticMergeLaws<ElasticCountMin>(4, seed);
+  }
+}
+
+TEST(CoreMergePropertyTest, ElasticCountSketchMismatchedWidthLaws) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    CheckElasticMergeLaws<ElasticCountSketch>(5, seed);
+  }
+}
+
+// Mismatched-capacity counter merges: fold-to-min with an analytically
+// widened budget. Folding a capacity-k1 summary to k2 < k1 adds at most
+// n1/k1 (the subtracted minimum) + n1/k2 (the pruning order statistic)
+// of slack; the equal-capacity merge then adds its own minima and
+// order statistic. Summed, the result's two-sided uncertainty stays
+// under eps1 * n1 + eps2 * (3 n1 + 2 n2) — loose, but analytic, and
+// far below the naive "all mass is slack" fallback.
+template <typename S>
+void CheckMismatchedCounterMerge(int k_small, int k_large, uint64_t seed) {
+  Rng rng(seed);
+  S small(k_small);
+  S large(k_large);
+  std::map<uint64_t, uint64_t> exact;
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t item = rng.UniformInt(uint64_t{50});
+    item = rng.UniformInt(item + 1);
+    small.Update(item);
+    ++exact[item];
+  }
+  for (int i = 0; i < 6000; ++i) {
+    uint64_t item = rng.UniformInt(uint64_t{50});
+    item = rng.UniformInt(item + 1);
+    large.Update(item);
+    ++exact[item];
+  }
+  const double n_small = 4000.0;
+  const double n_large = 6000.0;
+  // Effective epsilon per type: SpaceSaving guarantees n/capacity,
+  // DeamortizedSpaceSaving n/guarantee (guarantee = capacity/2).
+  const auto effective_epsilon = [](const S& s) {
+    if constexpr (requires { s.guarantee(); }) {
+      return 1.0 / s.guarantee();
+    } else {
+      return 1.0 / s.capacity();
+    }
+  };
+  const double eps_small = effective_epsilon(small);  // The NARROW budget.
+  const double eps_large = effective_epsilon(large);
+
+  // Both orders: fold-to-min must make them byte-identical.
+  S merged = small;
+  merged.Merge(large);
+  S reversed = large;
+  reversed.Merge(small);
+  EXPECT_EQ(merged.capacity(), k_small);
+  EXPECT_EQ(reversed.capacity(), k_small);
+  EXPECT_EQ(Encode(merged), Encode(reversed))
+      << "k " << k_small << "x" << k_large << " seed " << seed;
+
+  EXPECT_EQ(merged.n(), 10000u);
+  const double budget =
+      eps_large * n_large + eps_small * (3 * n_large + 2 * n_small);
+  EXPECT_LE(static_cast<double>(merged.UnderSlack()), budget + 1e-9);
+  for (const auto& [item, f] : exact) {
+    EXPECT_LE(merged.LowerEstimate(item), f) << "item " << item;
+    EXPECT_GE(merged.UpperEstimate(item), f) << "item " << item;
+  }
+}
+
+TEST(CoreMergePropertyTest, SpaceSavingMismatchedCapacityMergeLaws) {
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    CheckMismatchedCounterMerge<SpaceSaving>(16, 64, seed);
+    CheckMismatchedCounterMerge<SpaceSaving>(20, 33, seed);
+  }
+}
+
+TEST(CoreMergePropertyTest, DeamortizedMismatchedCapacityMergeLaws) {
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    CheckMismatchedCounterMerge<DeamortizedSpaceSaving>(16, 64, seed);
+    CheckMismatchedCounterMerge<DeamortizedSpaceSaving>(20, 33, seed);
   }
 }
 

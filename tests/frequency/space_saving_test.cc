@@ -463,11 +463,37 @@ TEST(SpaceSavingDeathTest, InvalidConstruction) {
   EXPECT_DEATH(SpaceSaving::ForEpsilon(0.0), "epsilon");
 }
 
-TEST(SpaceSavingDeathTest, MergeRequiresEqualCapacity) {
+TEST(SpaceSavingTest, MergeFoldsMismatchedCapacitiesToMin) {
+  // Mismatched capacities fold to the smaller side; the summary stays
+  // sound for the combined stream (bracket holds for every item).
   SpaceSaving a(4);
-  SpaceSaving b(5);
-  EXPECT_DEATH(a.Merge(b), "different capacities");
-  EXPECT_DEATH(a.MergeCafaro(b), "different capacities");
+  SpaceSaving b(8);
+  std::map<uint64_t, uint64_t> exact;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const uint64_t item = i % 11;
+    a.Update(item);
+    ++exact[item];
+  }
+  for (uint64_t i = 0; i < 300; ++i) {
+    const uint64_t item = i % 7;
+    b.Update(item);
+    ++exact[item];
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.capacity(), 4);
+  EXPECT_EQ(a.n(), 700u);
+  for (const auto& [item, f] : exact) {
+    EXPECT_LE(a.LowerEstimate(item), f);
+    EXPECT_GE(a.UpperEstimate(item), f);
+  }
+  // Byte-deterministic either way around, including which side folds.
+  SpaceSaving c(8);
+  for (uint64_t i = 0; i < 300; ++i) c.Update(i % 7);
+  SpaceSaving d(4);
+  for (uint64_t i = 0; i < 400; ++i) d.Update(i % 11);
+  c.MergeCafaro(d);
+  EXPECT_EQ(c.capacity(), 4);
+  EXPECT_EQ(c.n(), 700u);
 }
 
 }  // namespace

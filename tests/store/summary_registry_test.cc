@@ -16,9 +16,9 @@
 namespace mergeable {
 namespace {
 
-TEST(SummaryRegistryTest, CoversAllFourteenCodecsInTagOrder) {
+TEST(SummaryRegistryTest, CoversAllSixteenCodecsInTagOrder) {
   const std::vector<SummaryCodecInfo>& registry = SummaryRegistry();
-  ASSERT_EQ(registry.size(), 14u);
+  ASSERT_EQ(registry.size(), 16u);
   std::set<uint32_t> tags;
   uint32_t previous = 0;
   for (const SummaryCodecInfo& info : registry) {
@@ -32,7 +32,7 @@ TEST(SummaryRegistryTest, CoversAllFourteenCodecsInTagOrder) {
     EXPECT_NE(info.merge_payloads, nullptr);
     EXPECT_NE(info.fuzz, nullptr);
   }
-  EXPECT_EQ(tags.size(), 14u);
+  EXPECT_EQ(tags.size(), 16u);
 }
 
 TEST(SummaryRegistryTest, LookupByTagAndNameAgree) {
@@ -46,8 +46,9 @@ TEST(SummaryRegistryTest, LookupByTagAndNameAgree) {
   EXPECT_EQ(FindSummaryCodec("NoSuchSummary"), nullptr);
   EXPECT_TRUE(IsRegisteredSummaryTag(1));
   EXPECT_TRUE(IsRegisteredSummaryTag(14));
+  EXPECT_TRUE(IsRegisteredSummaryTag(16));
   EXPECT_FALSE(IsRegisteredSummaryTag(0));
-  EXPECT_FALSE(IsRegisteredSummaryTag(15));
+  EXPECT_FALSE(IsRegisteredSummaryTag(17));
 }
 
 TEST(SummaryRegistryTest, TraitsMatchRegistryEntries) {
